@@ -1,0 +1,151 @@
+// E3 (paper §2.2, §6.3): under skewed ("hot data") access, the pooled
+// coherent cache spreads load across every controller — traditional arrays
+// develop controller hot spots because each LUN is served by exactly one
+// owner, leaving the rest "relatively idle".
+//
+// Workload: 16 hosts read 64 KiB blocks with Zipf-skewed popularity over a
+// 256 MiB dataset.  Metric: per-controller peak-to-mean load and delivered
+// throughput, pooled cluster vs static-ownership baseline.
+#include "bench/common.h"
+
+#include "baseline/traditional_array.h"
+#include "cache/backing.h"
+
+namespace nlss::bench {
+namespace {
+
+constexpr std::uint64_t kDataset = 256 * util::MiB;
+constexpr std::uint32_t kOpBytes = 64 * util::KiB;
+constexpr std::size_t kHosts = 16;
+constexpr sim::Tick kWindow = 2 * util::kNsPerSec;
+
+struct Result {
+  double mbps = 0;
+  double peak_to_mean = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+Result RunPooled(double theta) {
+  controller::SystemConfig config;
+  config.name = "e3";
+  config.controllers = 4;
+  config.raid_groups = 8;
+  config.disk_profile.capacity_blocks = 64 * 1024;
+  config.cache.node_capacity_pages = 1024;
+  config.cache.flush_delay_ns = 200 * util::kNsPerMs;
+  TestBed bed(config, kHosts);
+  const auto vol = bed.system->CreateVolume("e3", kDataset);
+  Preload(bed, vol, kDataset);
+  DropCaches(bed);
+  WarmRead(bed, vol, kDataset);
+
+  util::Rng rng(7);
+  const util::ZipfGenerator zipf(kDataset / kOpBytes, theta);
+  const auto loads_before = bed.system->cache().LoadByController();
+  const sim::Tick start = bed.engine.now();
+  auto [bytes, latency] = ClosedLoop::Run(
+      bed.engine, kHosts, start + kWindow,
+      [&](std::size_t h, std::function<void(bool, std::uint64_t)> done) {
+        const std::uint64_t off = zipf.Next(rng) * kOpBytes;
+        bed.system->Read(bed.hosts[h], vol, off, kOpBytes,
+                         [done = std::move(done)](bool ok, util::Bytes) {
+                           done(ok, kOpBytes);
+                         });
+      });
+  auto loads = bed.system->cache().LoadByController();
+  for (std::size_t i = 0; i < loads.size(); ++i) loads[i] -= loads_before[i];
+  const auto imbalance = util::ComputeImbalance(loads);
+  return {util::ThroughputMBps(bytes, kWindow), imbalance.peak_to_mean,
+          latency.Percentile(0.99)};
+}
+
+Result RunBaseline(double theta) {
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  baseline::TraditionalArray::Config config;
+  config.controllers = 4;  // generous: a quad-controller legacy box
+  config.cache_pages_per_controller = 1024;
+  baseline::TraditionalArray array(engine, fabric, config);
+  std::vector<net::NodeId> hosts;
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    hosts.push_back(array.AttachHost("h" + std::to_string(h)));
+  }
+  // 16 LUNs backed by 8 RAID groups (2 LUN regions per group).
+  disk::DiskProfile profile;
+  profile.capacity_blocks = 64 * 1024;
+  std::vector<std::unique_ptr<disk::DiskFarm>> farms;
+  std::vector<std::unique_ptr<raid::RaidGroup>> groups;
+  std::vector<std::unique_ptr<cache::RaidBacking>> backings;
+  std::vector<std::uint32_t> luns;
+  for (int g = 0; g < 8; ++g) {
+    farms.push_back(std::make_unique<disk::DiskFarm>(engine, profile, 5));
+    std::vector<disk::Disk*> disks;
+    for (std::size_t i = 0; i < farms[g]->size(); ++i) {
+      disks.push_back(&farms[g]->at(i));
+    }
+    raid::RaidGroup::Config rc;
+    groups.push_back(std::make_unique<raid::RaidGroup>(engine,
+                                                       std::move(disks), rc));
+    backings.push_back(std::make_unique<cache::RaidBacking>(*groups.back()));
+    luns.push_back(array.AddLun(backings.back().get()));
+    luns.push_back(array.AddLun(backings.back().get()));
+  }
+  const std::uint64_t per_lun = kDataset / luns.size();
+
+  // Warm pass.
+  for (std::uint64_t off = 0; off < kDataset; off += util::MiB) {
+    const auto lun = static_cast<std::uint32_t>(off / per_lun);
+    array.Read(hosts[(off / util::MiB) % kHosts], luns[lun], off % per_lun,
+               util::MiB, [](bool, util::Bytes) {});
+    engine.Run();
+  }
+
+  util::Rng rng(7);
+  const util::ZipfGenerator zipf(kDataset / kOpBytes, theta);
+  const sim::Tick start = engine.now();
+  auto [bytes, latency] = ClosedLoop::Run(
+      engine, kHosts, start + kWindow,
+      [&](std::size_t h, std::function<void(bool, std::uint64_t)> done) {
+        const std::uint64_t global = zipf.Next(rng) * kOpBytes;
+        const auto lun = static_cast<std::uint32_t>(global / per_lun);
+        array.Read(hosts[h], luns[lun], global % per_lun, kOpBytes,
+                   [done = std::move(done)](bool ok, util::Bytes) {
+                     done(ok, kOpBytes);
+                   });
+      });
+  const auto imbalance = util::ComputeImbalance(array.LoadByController());
+  return {util::ThroughputMBps(bytes, kWindow), imbalance.peak_to_mean,
+          latency.Percentile(0.99)};
+}
+
+}  // namespace
+}  // namespace nlss::bench
+
+int main() {
+  using namespace nlss;
+  using namespace nlss::bench;
+  PrintHeader("E3", "Controller hot spots under skewed access (paper 2.2)",
+              "pooled coherent cache: no cache or controller hot spots; "
+              "traditional LUN ownership gates hot data through one "
+              "controller while others idle");
+
+  util::Table table({"zipf theta", "system", "MB/s", "peak/mean load",
+                     "p99 latency (us)"});
+  for (const double theta : {0.0, 0.8, 0.99, 1.2}) {
+    const Result pooled = RunPooled(theta);
+    const Result base = RunBaseline(theta);
+    table.AddRow({util::Table::Cell(theta, 2), "nlss pooled (4 blades)",
+                  util::Table::Cell(pooled.mbps, 1),
+                  util::Table::Cell(pooled.peak_to_mean, 2),
+                  util::Table::Cell(pooled.p99_ns / 1000.0, 0)});
+    table.AddRow({util::Table::Cell(theta, 2), "traditional (4 owners)",
+                  util::Table::Cell(base.mbps, 1),
+                  util::Table::Cell(base.peak_to_mean, 2),
+                  util::Table::Cell(base.p99_ns / 1000.0, 0)});
+  }
+  table.Print("E3 results (16 hosts, 64 KiB Zipf reads, 256 MiB dataset):");
+  std::printf("\nExpected shape: as skew rises, the baseline's peak/mean"
+              "\nclimbs toward 4.0 (one hot owner) and throughput collapses;"
+              "\nthe pooled cluster stays near 1.0 with flat throughput.\n");
+  return 0;
+}

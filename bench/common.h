@@ -1,0 +1,118 @@
+// Shared scaffolding for the experiment benchmarks (E1..E12): system
+// builders, closed-loop workload drivers, and result helpers.  Each bench
+// binary prints the table(s) EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "controller/system.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace nlss::bench {
+
+/// A single-site system + fabric bundle with sensible experiment defaults.
+struct TestBed {
+  sim::Engine engine;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<controller::StorageSystem> system;
+  std::vector<net::NodeId> hosts;
+
+  explicit TestBed(controller::SystemConfig config, std::size_t n_hosts = 1) {
+    fabric = std::make_unique<net::Fabric>(engine);
+    system = std::make_unique<controller::StorageSystem>(engine, *fabric,
+                                                         config);
+    for (std::size_t h = 0; h < n_hosts; ++h) {
+      hosts.push_back(system->AttachHost("host" + std::to_string(h)));
+    }
+  }
+};
+
+/// Write `bytes` of patterned data to a volume and flush it to disk.
+inline void Preload(TestBed& bed, controller::VolumeId vol,
+                    std::uint64_t bytes, std::uint64_t chunk = 8 * util::MiB) {
+  util::Bytes buf(std::min<std::uint64_t>(bytes, chunk));
+  for (std::uint64_t off = 0; off < bytes; off += buf.size()) {
+    util::FillPattern(buf, off);
+    bool ok = false;
+    bed.system->Write(bed.hosts[0], vol, off, buf, [&](bool r) { ok = r; });
+    bed.engine.Run();
+    if (!ok) {
+      std::fprintf(stderr, "preload write failed at %llu\n",
+                   (unsigned long long)off);
+      std::abort();
+    }
+  }
+  bool flushed = false;
+  bed.system->cache().FlushAll([&](bool) { flushed = true; });
+  bed.engine.Run();
+  (void)flushed;
+}
+
+/// Drop all (clean) cached pages so subsequent reads hit the disks.
+inline void DropCaches(TestBed& bed) {
+  for (std::uint32_t c = 0; c < bed.system->controller_count(); ++c) {
+    bed.system->cache().node(c).Clear();
+  }
+  bed.system->cache().Recover();
+}
+
+/// Sequentially read the whole range once to warm caches (large reads, one
+/// outstanding per host, spread across hosts round-robin).
+inline void WarmRead(TestBed& bed, controller::VolumeId vol,
+                     std::uint64_t bytes, std::uint32_t chunk = util::MiB) {
+  for (std::uint64_t off = 0; off < bytes; off += chunk) {
+    bed.system->Read(bed.hosts[(off / chunk) % bed.hosts.size()], vol, off,
+                     chunk, [](bool, util::Bytes) {});
+    bed.engine.Run();
+  }
+}
+
+/// Closed-loop workload driver: each of `streams` logical clients keeps one
+/// request outstanding until `until_ns`; `next_op` issues an op and must
+/// invoke the continuation on completion.
+class ClosedLoop {
+ public:
+  using Issue = std::function<void(std::size_t stream,
+                                   std::function<void(bool, std::uint64_t)>)>;
+
+  /// Returns (total bytes completed, op latency histogram).
+  static std::pair<std::uint64_t, util::Histogram> Run(
+      sim::Engine& engine, std::size_t streams, sim::Tick until_ns,
+      const Issue& issue) {
+    std::uint64_t bytes = 0;
+    util::Histogram latency;
+    std::function<void(std::size_t)> pump = [&](std::size_t s) {
+      if (engine.now() >= until_ns) return;
+      const sim::Tick start = engine.now();
+      issue(s, [&, s, start](bool ok, std::uint64_t op_bytes) {
+        if (ok) {
+          bytes += op_bytes;
+          latency.Record(engine.now() - start);
+        }
+        pump(s);
+      });
+    };
+    for (std::size_t s = 0; s < streams; ++s) pump(s);
+    engine.RunUntil(until_ns);
+    // Let in-flight ops land (they stop re-issuing past the deadline).
+    engine.Run();
+    return {bytes, std::move(latency)};
+  }
+};
+
+inline void PrintHeader(const char* id, const char* title,
+                        const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace nlss::bench

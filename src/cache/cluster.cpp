@@ -1,0 +1,940 @@
+#include "cache/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace nlss::cache {
+namespace {
+
+struct Join {
+  Join(int n, std::function<void(bool)> done)
+      : remaining(n), on_done(std::move(done)) {}
+  int remaining;
+  bool ok = true;
+  std::function<void(bool)> on_done;
+  void Arrive(bool success) {
+    ok = ok && success;
+    if (--remaining == 0) on_done(ok);
+  }
+};
+
+}  // namespace
+
+CacheCluster::CacheCluster(sim::Engine& engine, net::Fabric& fabric,
+                           std::vector<net::NodeId> controller_nodes,
+                           Config config)
+    : engine_(engine), fabric_(fabric), config_(config) {
+  assert(!controller_nodes.empty());
+  assert(config_.replication >= 1);
+  for (std::size_t i = 0; i < controller_nodes.size(); ++i) {
+    ctrls_.push_back(std::make_unique<Controller>(
+        controller_nodes[i], config_.node_capacity_pages, engine_));
+    live_.push_back(static_cast<ControllerId>(i));
+  }
+  dir_.resize(ctrls_.size());
+  extra_.resize(ctrls_.size());
+}
+
+void CacheCluster::RegisterVolume(std::uint32_t volume, BackingStore* backing) {
+  assert(backing != nullptr);
+  assert(config_.page_bytes % backing->block_size() == 0);
+  volumes_[volume] = backing;
+}
+
+ControllerId CacheCluster::HomeOf(const PageKey& key) const {
+  assert(!live_.empty());
+  return live_[PageKeyHash{}(key) % live_.size()];
+}
+
+std::uint32_t CacheCluster::PageBlocks(std::uint32_t volume) const {
+  return config_.page_bytes / volumes_.at(volume)->block_size();
+}
+
+void CacheCluster::Msg(ControllerId from, ControllerId to, std::uint64_t bytes,
+                       std::function<void()> delivered, Failure on_drop) {
+  fabric_.Send(ctrls_[from]->node, ctrls_[to]->node, bytes,
+               std::move(delivered), std::move(on_drop));
+}
+
+// --- Directory entry serialization ------------------------------------------
+
+void CacheCluster::AcquireEntry(ControllerId home, const PageKey& key,
+                                std::function<void()> fn) {
+  DirEntry& e = dir_[home][key];
+  if (e.busy) {
+    e.waiters.push_back(std::move(fn));
+  } else {
+    e.busy = true;
+    engine_.Schedule(0, std::move(fn));
+  }
+}
+
+void CacheCluster::ReleaseEntry(ControllerId home, const PageKey& key) {
+  auto it = dir_[home].find(key);
+  if (it == dir_[home].end()) return;
+  DirEntry& e = it->second;
+  if (!e.busy) return;  // tolerated: stale release after directory rebuild
+  if (!e.waiters.empty()) {
+    auto next = std::move(e.waiters.front());
+    e.waiters.pop_front();
+    engine_.Schedule(0, std::move(next));
+    return;
+  }
+  e.busy = false;
+  if (e.owner == kNoController && e.sharers.empty()) {
+    dir_[home].erase(it);
+  }
+}
+
+// --- Frame bookkeeping -------------------------------------------------------
+
+CacheCluster::FrameExtra& CacheCluster::Extra(ControllerId ctrl,
+                                              const PageKey& key) {
+  return extra_[ctrl][key];
+}
+
+void CacheCluster::EraseExtra(ControllerId ctrl, const PageKey& key) {
+  extra_[ctrl].erase(key);
+}
+
+void CacheCluster::EnsureRoom(ControllerId ctrl) {
+  CacheNode& cache = ctrls_[ctrl]->cache;
+  while (cache.Full()) {
+    // Prefer clean victims: evict immediately.
+    if (auto victim = cache.ChooseVictim(/*require_clean=*/true)) {
+      cache.Erase(*victim);
+      EraseExtra(ctrl, *victim);
+      ++ctrls_[ctrl]->stats.evictions;
+      continue;
+    }
+    // Otherwise kick a write-back of the LRU dirty frame and allow a
+    // temporary overcommit; the frame becomes evictable once clean.
+    if (auto dirty = cache.ChooseVictim(/*require_clean=*/false)) {
+      FlushPage(ctrl, *dirty);
+    }
+    break;
+  }
+}
+
+CacheNode::Frame& CacheCluster::InstallFrame(ControllerId ctrl,
+                                             const PageKey& key,
+                                             util::Bytes data) {
+  CacheNode& cache = ctrls_[ctrl]->cache;
+  CacheNode::Frame* f = cache.Find(key);
+  if (f == nullptr) {
+    EnsureRoom(ctrl);
+    f = &cache.Emplace(key);
+  }
+  f->data = std::move(data);
+  cache.Touch(key);
+  return *f;
+}
+
+// --- Backing I/O -------------------------------------------------------------
+
+void CacheCluster::ReadFromBacking(ControllerId ctrl, PageKey key,
+                                   BackingStore::ReadCallback cb) {
+  BackingStore* vol = volumes_.at(key.volume);
+  const std::uint32_t pb = PageBlocks(key.volume);
+  const std::uint64_t block = key.page * pb;
+  if (block >= vol->CapacityBlocks()) {
+    engine_.Schedule(0, [cb = std::move(cb), this] {
+      cb(true, util::Bytes(config_.page_bytes, 0));
+    });
+    return;
+  }
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(pb, vol->CapacityBlocks() - block));
+  vol->ReadBlocks(block, count,
+                  [this, ctrl, cb = std::move(cb)](bool ok,
+                                                   util::Bytes data) mutable {
+                    if (ok && data.size() < config_.page_bytes) {
+                      data.resize(config_.page_bytes, 0);
+                    }
+                    if (!ok || config_.fc_ns_per_byte <= 0.0) {
+                      cb(ok, std::move(data));
+                      return;
+                    }
+                    // Disk->blade transfer over the controller's FC feed.
+                    const sim::Tick done = ctrls_[ctrl]->fc.AcquireBytes(
+                        data.size(), config_.fc_ns_per_byte);
+                    engine_.ScheduleAt(done, [cb = std::move(cb),
+                                              data = std::move(data)]() mutable {
+                      cb(true, std::move(data));
+                    });
+                  });
+}
+
+void CacheCluster::WriteToBacking(ControllerId ctrl, PageKey key,
+                                  const util::Bytes& data,
+                                  BackingStore::WriteCallback cb) {
+  BackingStore* vol = volumes_.at(key.volume);
+  const std::uint32_t pb = PageBlocks(key.volume);
+  const std::uint64_t block = key.page * pb;
+  if (block >= vol->CapacityBlocks()) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(true); });
+    return;
+  }
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(pb, vol->CapacityBlocks() - block));
+  auto issue = [this, vol, block, count,
+                snapshot = util::Bytes(
+                    data.begin(),
+                    data.begin() + static_cast<std::ptrdiff_t>(
+                                       static_cast<std::size_t>(count) *
+                                       vol->block_size())),
+                cb = std::move(cb)]() mutable {
+    vol->WriteBlocks(block, snapshot, std::move(cb));
+  };
+  if (config_.fc_ns_per_byte <= 0.0) {
+    issue();
+    return;
+  }
+  const sim::Tick done = ctrls_[ctrl]->fc.AcquireBytes(
+      static_cast<std::uint64_t>(count) * vol->block_size(),
+      config_.fc_ns_per_byte);
+  engine_.ScheduleAt(done, std::move(issue));
+}
+
+// --- Flush -------------------------------------------------------------------
+
+void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
+                             std::function<void(bool)> cb) {
+  Controller& c = *ctrls_[ctrl];
+  CacheNode::Frame* f = c.cache.Find(key);
+  if (f == nullptr || !f->dirty) {
+    if (cb) engine_.Schedule(0, [cb = std::move(cb)] { cb(true); });
+    return;
+  }
+  FrameExtra& ex = Extra(ctrl, key);
+  if (ex.flushing) {
+    // Chain behind the in-flight flush, then re-check dirtiness.
+    ex.flush_waiters.push_back([this, ctrl, key, cb = std::move(cb)]() mutable {
+      FlushPage(ctrl, key, std::move(cb));
+    });
+    return;
+  }
+  ex.flushing = true;
+  f->busy = true;
+  const std::uint64_t epoch = f->dirty_epoch;
+  // Charge the owning controller's data engine for the write-back.
+  const sim::Tick compute_done =
+      c.compute.AcquireBytes(config_.page_bytes, config_.serve_ns_per_byte);
+  util::Bytes snapshot = f->data;
+  engine_.ScheduleAt(compute_done, [this, ctrl, key, epoch,
+                                    snapshot = std::move(snapshot),
+                                    cb = std::move(cb)]() mutable {
+    WriteToBacking(ctrl, key, snapshot, [this, ctrl, key, epoch,
+                                   cb = std::move(cb)](bool ok) mutable {
+      Controller& c = *ctrls_[ctrl];
+      CacheNode::Frame* f = c.cache.Find(key);
+      FrameExtra& ex = Extra(ctrl, key);
+      ++c.stats.flushes;
+      bool still_dirty = false;
+      if (f != nullptr) {
+        if (ok && f->dirty_epoch == epoch) {
+          f->dirty = false;
+          // Release the N-way replicas now that the data is on disk.
+          for (const ControllerId site : ex.replica_sites) {
+            if (!ctrls_[site]->alive) continue;
+            Msg(ctrl, site, config_.ctrl_msg_bytes,
+                [this, site, key, ctrl] {
+                  CacheNode::Frame* rf = ctrls_[site]->cache.Find(key);
+                  if (rf != nullptr && rf->is_replica &&
+                      rf->replica_owner == ctrl) {
+                    ctrls_[site]->cache.Erase(key);
+                    EraseExtra(site, key);
+                  }
+                },
+                nullptr);
+          }
+          ex.replica_sites.clear();
+        } else if (f->dirty) {
+          still_dirty = true;  // re-written during the flush, or I/O error
+        }
+        f->busy = false;
+      }
+      ex.flushing = false;
+      auto waiters = std::move(ex.flush_waiters);
+      ex.flush_waiters.clear();
+      for (auto& w : waiters) engine_.Schedule(0, std::move(w));
+      if (still_dirty) {
+        FlushPage(ctrl, key, std::move(cb));
+      } else if (cb) {
+        cb(ok);
+      }
+    });
+  });
+}
+
+void CacheCluster::FlushAll(WriteCallback cb) {
+  std::vector<std::pair<ControllerId, PageKey>> dirty;
+  for (const ControllerId c : live_) {
+    ctrls_[c]->cache.ForEach([&](const PageKey& key,
+                                 const CacheNode::Frame& f) {
+      if (f.dirty) dirty.emplace_back(c, key);
+    });
+  }
+  if (dirty.empty()) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(true); });
+    return;
+  }
+  auto join = std::make_shared<Join>(static_cast<int>(dirty.size()),
+                                     std::move(cb));
+  for (const auto& [c, key] : dirty) {
+    FlushPage(c, key, [join](bool ok) { join->Arrive(ok); });
+  }
+}
+
+// --- Fetch / invalidate / replicate ------------------------------------------
+
+void CacheCluster::FetchCurrent(ControllerId via, PageKey key,
+                                std::function<void(bool, util::Bytes)> cb) {
+  const ControllerId home = HomeOf(key);
+  DirEntry& e = dir_[home][key];
+  ControllerId source = kNoController;
+  if (e.owner != kNoController && ctrls_[e.owner]->alive && e.owner != via) {
+    source = e.owner;
+  } else {
+    for (const ControllerId s : e.sharers) {
+      if (s != via && ctrls_[s]->alive) {
+        source = s;
+        break;
+      }
+    }
+  }
+
+  auto shared_cb = std::make_shared<std::function<void(bool, util::Bytes)>>(
+      std::move(cb));
+
+  auto backing_path = [this, via, home, key, shared_cb]() mutable {
+    ReadFromBacking(home, key, [this, via, home, shared_cb](
+                             bool ok, util::Bytes data) mutable {
+      if (!ok) {
+        (*shared_cb)(false, {});
+        return;
+      }
+      const sim::Tick done = ctrls_[home]->compute.AcquireBytes(
+          config_.page_bytes, config_.serve_ns_per_byte);
+      ctrls_[home]->stats.bytes_served += config_.page_bytes;
+      engine_.ScheduleAt(done, [this, via, home, data = std::move(data),
+                                shared_cb]() mutable {
+        if (home == via) {
+          (*shared_cb)(true, std::move(data));
+          return;
+        }
+        auto shared_data = std::make_shared<util::Bytes>(std::move(data));
+        Msg(home, via, config_.page_bytes,
+            [shared_data, shared_cb] {
+              (*shared_cb)(true, std::move(*shared_data));
+            },
+            [shared_cb] { (*shared_cb)(false, {}); });
+      });
+    });
+  };
+
+  if (source == kNoController) {
+    backing_path();
+    return;
+  }
+
+  // Control hop home->source, then data hop source->via.
+  Msg(home, source, config_.ctrl_msg_bytes,
+      [this, via, source, key, shared_cb, backing_path]() mutable {
+        CacheNode::Frame* f = ctrls_[source]->cache.Find(key);
+        if (f == nullptr) {
+          backing_path();  // frame evicted while the request was in flight
+          return;
+        }
+        const sim::Tick done = ctrls_[source]->compute.AcquireBytes(
+            config_.page_bytes, config_.serve_ns_per_byte);
+        ctrls_[source]->stats.bytes_served += config_.page_bytes;
+        auto data = std::make_shared<util::Bytes>(f->data);
+        engine_.ScheduleAt(done, [this, source, via, data, shared_cb] {
+          Msg(source, via, config_.page_bytes,
+              [data, shared_cb] { (*shared_cb)(true, std::move(*data)); },
+              [shared_cb] { (*shared_cb)(false, {}); });
+        });
+      },
+      [shared_cb] { (*shared_cb)(false, {}); });
+}
+
+void CacheCluster::InvalidateHolders(ControllerId except, PageKey key,
+                                     std::function<void()> done) {
+  const ControllerId home = HomeOf(key);
+  DirEntry& e = dir_[home][key];
+  std::vector<ControllerId> holders;
+  if (e.owner != kNoController && e.owner != except &&
+      ctrls_[e.owner]->alive) {
+    holders.push_back(e.owner);
+  }
+  for (const ControllerId s : e.sharers) {
+    if (s != except && ctrls_[s]->alive) holders.push_back(s);
+  }
+  e.owner = kNoController;
+  e.sharers.clear();
+  if (holders.empty()) {
+    engine_.Schedule(0, std::move(done));
+    return;
+  }
+  auto join = std::make_shared<Join>(
+      static_cast<int>(holders.size()),
+      [done = std::move(done)](bool) { done(); });
+
+  for (const ControllerId h : holders) {
+    Msg(home, h, config_.ctrl_msg_bytes,
+        [this, h, home, key, join] {
+          // Local invalidation at h.  Deferred while a flush is in flight
+          // so the on-disk image never goes backwards in time.
+          std::function<void()> inv = [this, h, home, key, join] {
+            CacheNode::Frame* f = ctrls_[h]->cache.Find(key);
+            if (f != nullptr) {
+              FrameExtra& ex = Extra(h, key);
+              if (ex.flushing) {
+                ex.flush_waiters.push_back([this, h, home, key, join] {
+                  // Retry the invalidation after the flush completes.
+                  CacheNode::Frame* f2 = ctrls_[h]->cache.Find(key);
+                  if (f2 != nullptr) {
+                    DropFrameWithReplicas(h, key);
+                  }
+                  Msg(h, home, config_.ctrl_msg_bytes,
+                      [join] { join->Arrive(true); },
+                      [join] { join->Arrive(true); });
+                });
+                return;
+              }
+              DropFrameWithReplicas(h, key);
+            }
+            ++ctrls_[h]->stats.invalidations_received;
+            Msg(h, home, config_.ctrl_msg_bytes,
+                [join] { join->Arrive(true); },
+                [join] { join->Arrive(true); });
+          };
+          inv();
+        },
+        [join] { join->Arrive(true); });
+  }
+}
+
+void CacheCluster::DropFrameWithReplicas(ControllerId ctrl,
+                                         const PageKey& key) {
+  FrameExtra& ex = Extra(ctrl, key);
+  // Unpin any replicas this (former) owner parked on peers.
+  for (const ControllerId site : ex.replica_sites) {
+    if (!ctrls_[site]->alive) continue;
+    Msg(ctrl, site, config_.ctrl_msg_bytes,
+        [this, site, key, ctrl] {
+          CacheNode::Frame* rf = ctrls_[site]->cache.Find(key);
+          if (rf != nullptr && rf->is_replica && rf->replica_owner == ctrl) {
+            ctrls_[site]->cache.Erase(key);
+            EraseExtra(site, key);
+          }
+        },
+        nullptr);
+  }
+  ctrls_[ctrl]->cache.Erase(key);
+  EraseExtra(ctrl, key);
+}
+
+void CacheCluster::ReplicateDirty(ControllerId owner_ctrl, PageKey key,
+                                  std::uint32_t replication,
+                                  std::function<void()> done) {
+  // If an eviction-triggered flush already landed this page, replication
+  // would pin copies nobody will ever release — skip it.
+  {
+    CacheNode::Frame* f = ctrls_[owner_ctrl]->cache.Find(key);
+    if (f == nullptr || !f->dirty) {
+      engine_.Schedule(0, std::move(done));
+      return;
+    }
+  }
+  // Pick the next N-1 live controllers after the owner, ring order.
+  std::vector<ControllerId> targets;
+  if (replication > 1 && live_.size() > 1) {
+    const auto it = std::find(live_.begin(), live_.end(), owner_ctrl);
+    std::size_t pos = it == live_.end()
+                          ? 0
+                          : static_cast<std::size_t>(it - live_.begin());
+    for (std::size_t k = 1;
+         k < live_.size() && targets.size() + 1 < replication; ++k) {
+      const ControllerId t = live_[(pos + k) % live_.size()];
+      if (t != owner_ctrl) targets.push_back(t);
+    }
+  }
+  FrameExtra& ex = Extra(owner_ctrl, key);
+  // Unpin replicas at sites no longer targeted (membership changes).
+  for (const ControllerId old : ex.replica_sites) {
+    if (std::find(targets.begin(), targets.end(), old) != targets.end()) {
+      continue;
+    }
+    if (!ctrls_[old]->alive) continue;
+    Msg(owner_ctrl, old, config_.ctrl_msg_bytes,
+        [this, old, key, owner_ctrl] {
+          CacheNode::Frame* rf = ctrls_[old]->cache.Find(key);
+          if (rf != nullptr && rf->is_replica &&
+              rf->replica_owner == owner_ctrl) {
+            ctrls_[old]->cache.Erase(key);
+            EraseExtra(old, key);
+          }
+        },
+        nullptr);
+  }
+  ex.replica_sites = targets;
+  if (targets.empty()) {
+    engine_.Schedule(0, std::move(done));
+    return;
+  }
+  CacheNode::Frame* f = ctrls_[owner_ctrl]->cache.Find(key);
+  assert(f != nullptr);
+  auto data = std::make_shared<util::Bytes>(f->data);
+  auto join = std::make_shared<Join>(
+      static_cast<int>(targets.size()),
+      [done = std::move(done)](bool) { done(); });
+  for (const ControllerId t : targets) {
+    Msg(owner_ctrl, t, config_.page_bytes,
+        [this, t, key, owner_ctrl, data, join] {
+          CacheNode::Frame& rf = InstallFrame(t, key, *data);
+          rf.is_replica = true;
+          rf.replica_owner = owner_ctrl;
+          rf.dirty = false;
+          Msg(t, owner_ctrl, config_.ctrl_msg_bytes,
+              [join] { join->Arrive(true); },
+              [join] { join->Arrive(true); });
+        },
+        [join] { join->Arrive(false); });
+  }
+}
+
+// --- GETS / GETX --------------------------------------------------------------
+
+void CacheCluster::HandleGetS(ControllerId via, PageKey key,
+                              std::uint8_t priority,
+                              std::function<void(bool, util::Bytes)> cb) {
+  const ControllerId home = HomeOf(key);
+  auto finish = [this, via, home, key, priority, cb = std::move(cb)](
+                    bool ok, util::Bytes data) mutable {
+    if (ok) {
+      CacheNode::Frame& f = InstallFrame(via, key, std::move(data));
+      f.priority = std::max(f.priority, priority);
+      DirEntry& e = dir_[home][key];
+      if (e.owner != via) e.sharers.insert(via);
+      ReleaseEntry(home, key);
+      cb(true, f.data);
+    } else {
+      ReleaseEntry(home, key);
+      cb(false, {});
+    }
+  };
+  // Classify hit type for stats before fetching.
+  {
+    DirEntry& e = dir_[home][key];
+    const bool someone_has_it =
+        (e.owner != kNoController && ctrls_[e.owner]->alive) ||
+        std::any_of(e.sharers.begin(), e.sharers.end(), [&](ControllerId s) {
+          return s != via && ctrls_[s]->alive;
+        });
+    if (someone_has_it) {
+      ++ctrls_[via]->stats.remote_hits;
+    } else {
+      ++ctrls_[via]->stats.misses;
+    }
+  }
+  FetchCurrent(via, key, std::move(finish));
+}
+
+void CacheCluster::HandleGetX(ControllerId via, PageKey key,
+                              std::uint32_t offset, util::Bytes data,
+                              std::uint32_t replication, std::uint8_t priority,
+                              WriteCallback cb) {
+  const ControllerId home = HomeOf(key);
+  const bool full_page =
+      offset == 0 && data.size() == config_.page_bytes;
+
+  auto fail = [this, home, key, cb](const char*) {
+    ReleaseEntry(home, key);
+    cb(false);
+  };
+
+  // Step 3 onwards, once we know the page's base content.
+  auto apply = [this, via, home, key, offset, data = std::move(data),
+                replication, priority, cb,
+                fail](util::Bytes base) mutable {
+    InvalidateHolders(via, key,
+                      [this, via, home, key, offset, data = std::move(data),
+                       replication, priority, cb,
+                       base = std::move(base)]() mutable {
+      CacheNode::Frame& f = InstallFrame(via, key, std::move(base));
+      std::memcpy(f.data.data() + offset, data.data(), data.size());
+      f.priority = std::max(f.priority, priority);
+      f.dirty = true;
+      f.is_replica = false;
+      f.replica_owner = kNoController;
+      ++f.dirty_epoch;
+      DirEntry& e = dir_[home][key];
+      e.owner = via;
+      e.sharers.clear();
+      ctrls_[via]->stats.bytes_served += data.size();
+      const sim::Tick done = ctrls_[via]->compute.AcquireBytes(
+          data.size(), config_.serve_ns_per_byte);
+      engine_.ScheduleAt(done, [this, via, home, key, replication, cb] {
+        ReplicateDirty(via, key, replication, [this, via, home, key, cb] {
+          ReleaseEntry(home, key);
+          cb(true);
+          // Write-back: flush after the configured aging delay.  The page
+          // may be re-written or flushed by eviction pressure meanwhile;
+          // FlushPage no-ops if it finds the frame clean.
+          if (config_.flush_delay_ns == 0) {
+            FlushPage(via, key);
+          } else {
+            engine_.Schedule(config_.flush_delay_ns, [this, via, key] {
+              if (ctrls_[via]->alive) FlushPage(via, key);
+            });
+          }
+        });
+      });
+    });
+  };
+
+  CacheNode::Frame* f_via = ctrls_[via]->cache.Find(key);
+  if (f_via != nullptr) {
+    // Current content already present locally (shared, owned, or replica —
+    // replicas always carry the owner's latest write).
+    apply(f_via->data);
+    return;
+  }
+  if (full_page) {
+    apply(util::Bytes(config_.page_bytes, 0));
+    return;
+  }
+  FetchCurrent(via, key, [apply = std::move(apply), fail](
+                             bool ok, util::Bytes base) mutable {
+    if (!ok) {
+      fail("fetch");
+      return;
+    }
+    apply(std::move(base));
+  });
+}
+
+// --- Page-level API -----------------------------------------------------------
+
+void CacheCluster::MaybeReadahead(ControllerId via, PageKey key) {
+  if (config_.readahead_pages == 0) return;
+  const BackingStore* vol = volumes_.at(key.volume);
+  const std::uint64_t last_page =
+      (vol->CapacityBytes() + config_.page_bytes - 1) / config_.page_bytes;
+  for (std::uint32_t i = 1; i <= config_.readahead_pages; ++i) {
+    const PageKey next{key.volume, key.page + i};
+    if (next.page >= last_page) break;
+    if (ctrls_[via]->cache.Find(next) != nullptr) continue;
+    if (readahead_inflight_.count(next) > 0) continue;
+    readahead_inflight_[next] = true;
+    ReadPage(via, next,
+             [this, next](bool, util::Bytes) {
+               readahead_inflight_.erase(next);
+             },
+             /*demand=*/false);
+  }
+}
+
+void CacheCluster::ReadPage(ControllerId via, PageKey key,
+                            std::function<void(bool, util::Bytes)> cb,
+                            bool demand, std::uint8_t priority) {
+  Controller& c = *ctrls_[via];
+  if (!c.alive) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(false, {}); });
+    return;
+  }
+  ++c.stats.ops;
+  CacheNode::Frame* f = c.cache.Find(key);
+  if (f != nullptr) {
+    ++c.stats.local_hits;
+    c.stats.bytes_served += config_.page_bytes;
+    c.cache.Touch(key);
+    f->priority = std::max(f->priority, priority);
+    util::Bytes copy = f->data;
+    const sim::Tick compute_done =
+        c.compute.AcquireBytes(config_.page_bytes, config_.serve_ns_per_byte);
+    const sim::Tick when =
+        std::max(compute_done, engine_.now() + config_.local_access_ns);
+    engine_.ScheduleAt(when, [cb = std::move(cb),
+                              copy = std::move(copy)]() mutable {
+      cb(true, std::move(copy));
+    });
+    return;
+  }
+  if (demand) MaybeReadahead(via, key);
+  const ControllerId home = HomeOf(key);
+  auto shared_cb = std::make_shared<std::function<void(bool, util::Bytes)>>(
+      std::move(cb));
+  Msg(via, home, config_.ctrl_msg_bytes,
+      [this, via, home, key, priority, shared_cb] {
+        AcquireEntry(home, key, [this, via, key, priority, shared_cb] {
+          HandleGetS(via, key, priority,
+                     [shared_cb](bool ok, util::Bytes data) {
+                       (*shared_cb)(ok, std::move(data));
+                     });
+        });
+      },
+      [shared_cb] { (*shared_cb)(false, {}); });
+}
+
+void CacheCluster::WritePage(ControllerId via, PageKey key,
+                             std::uint32_t offset, util::Bytes data,
+                             std::uint32_t replication, std::uint8_t priority,
+                             WriteCallback cb) {
+  Controller& c = *ctrls_[via];
+  if (!c.alive) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(false); });
+    return;
+  }
+  assert(offset + data.size() <= config_.page_bytes);
+  ++c.stats.ops;
+  const ControllerId home = HomeOf(key);
+  auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+  auto shared_data = std::make_shared<util::Bytes>(std::move(data));
+  Msg(via, home, config_.ctrl_msg_bytes,
+      [this, via, home, key, offset, replication, priority, shared_cb,
+       shared_data] {
+        AcquireEntry(home, key,
+                     [this, via, key, offset, replication, priority,
+                      shared_cb, shared_data] {
+          HandleGetX(via, key, offset, std::move(*shared_data), replication,
+                     priority, [shared_cb](bool ok) { (*shared_cb)(ok); });
+        });
+      },
+      [shared_cb] { (*shared_cb)(false); });
+}
+
+// --- Byte-level API -------------------------------------------------------------
+
+void CacheCluster::Read(ControllerId via, std::uint32_t volume,
+                        std::uint64_t offset, std::uint32_t length,
+                        ReadCallback cb, std::uint8_t priority) {
+  assert(length > 0);
+  const std::uint32_t pb = config_.page_bytes;
+  auto result = std::make_shared<util::Bytes>(length, 0);
+  struct Piece {
+    PageKey key;
+    std::uint32_t in_page;
+    std::uint32_t len;
+    std::size_t out;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t cur = offset;
+  std::uint32_t left = length;
+  std::size_t out = 0;
+  while (left > 0) {
+    const std::uint64_t page = cur / pb;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(cur % pb);
+    const std::uint32_t n = std::min(left, pb - in_page);
+    pieces.push_back(Piece{PageKey{volume, page}, in_page, n, out});
+    cur += n;
+    left -= n;
+    out += n;
+  }
+  auto join = std::make_shared<Join>(
+      static_cast<int>(pieces.size()),
+      [result, cb = std::move(cb)](bool ok) {
+        cb(ok, ok ? std::move(*result) : util::Bytes{});
+      });
+  for (const Piece& p : pieces) {
+    ReadPage(
+        via, p.key,
+        [p, result, join](bool ok, util::Bytes page) {
+          if (ok) {
+            std::memcpy(result->data() + p.out, page.data() + p.in_page,
+                        p.len);
+          }
+          join->Arrive(ok);
+        },
+        /*demand=*/true, priority);
+  }
+}
+
+void CacheCluster::Write(ControllerId via, std::uint32_t volume,
+                         std::uint64_t offset,
+                         std::span<const std::uint8_t> data, WriteCallback cb,
+                         std::uint8_t priority) {
+  WriteWithReplication(via, volume, offset, data, config_.replication,
+                       std::move(cb), priority);
+}
+
+void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
+                                        std::uint64_t offset,
+                                        std::span<const std::uint8_t> data,
+                                        std::uint32_t replication,
+                                        WriteCallback cb,
+                                        std::uint8_t priority) {
+  assert(!data.empty());
+  const std::uint32_t pb = config_.page_bytes;
+  struct Piece {
+    PageKey key;
+    std::uint32_t in_page;
+    std::size_t src;
+    std::uint32_t len;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t cur = offset;
+  std::size_t src = 0;
+  std::size_t left = data.size();
+  while (left > 0) {
+    const std::uint64_t page = cur / pb;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(cur % pb);
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(std::min<std::size_t>(left, pb - in_page));
+    pieces.push_back(Piece{PageKey{volume, page}, in_page, src, n});
+    cur += n;
+    src += n;
+    left -= n;
+  }
+  auto join = std::make_shared<Join>(static_cast<int>(pieces.size()),
+                                     std::move(cb));
+  for (const Piece& p : pieces) {
+    util::Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(p.src),
+                      data.begin() + static_cast<std::ptrdiff_t>(p.src + p.len));
+    WritePage(via, p.key, p.in_page, std::move(chunk), replication, priority,
+              [join](bool ok) { join->Arrive(ok); });
+  }
+}
+
+// --- Failure & recovery -----------------------------------------------------------
+
+void CacheCluster::FailController(ControllerId ctrl) {
+  Controller& c = *ctrls_[ctrl];
+  c.alive = false;
+  fabric_.SetNodeUp(c.node, false);
+  c.cache.Clear();
+  extra_[ctrl].clear();
+  dir_[ctrl].clear();
+  live_.erase(std::remove(live_.begin(), live_.end(), ctrl), live_.end());
+}
+
+void CacheCluster::CrashController(ControllerId ctrl) {
+  Controller& c = *ctrls_[ctrl];
+  fabric_.SetNodeUp(c.node, false);
+  c.cache.Clear();
+  extra_[ctrl].clear();
+  // alive and live_ deliberately untouched: the cluster has not noticed.
+}
+
+void CacheCluster::ReviveController(ControllerId ctrl) {
+  Controller& c = *ctrls_[ctrl];
+  assert(!c.alive);
+  c.alive = true;
+  c.cache.Clear();
+  extra_[ctrl].clear();
+  dir_[ctrl].clear();
+  fabric_.SetNodeUp(c.node, true);
+}
+
+void CacheCluster::Recover() {
+  live_.clear();
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    if (ctrls_[i]->alive) live_.push_back(static_cast<ControllerId>(i));
+  }
+  assert(!live_.empty());
+  for (auto& shard : dir_) shard.clear();
+
+  // Pass 1: re-register every primary frame from surviving caches.
+  for (const ControllerId c : live_) {
+    ctrls_[c]->cache.ForEach([&](const PageKey& key,
+                                 const CacheNode::Frame& f) {
+      if (f.is_replica) return;
+      DirEntry& e = dir_[HomeOf(key)][key];
+      if (f.dirty) {
+        e.owner = c;
+      } else {
+        e.sharers.insert(c);
+      }
+    });
+  }
+
+  // Pass 2: find replicas orphaned by dead owners.
+  std::unordered_map<PageKey, std::vector<ControllerId>, PageKeyHash> orphans;
+  for (const ControllerId c : live_) {
+    ctrls_[c]->cache.ForEach([&](const PageKey& key,
+                                 const CacheNode::Frame& f) {
+      if (f.is_replica && !ctrls_[f.replica_owner]->alive) {
+        orphans[key].push_back(c);
+      }
+    });
+  }
+
+  // Pass 3: promote one replica per orphaned page to dirty owner; the rest
+  // stay pinned under the new owner until its flush lands.
+  for (auto& [key, holders] : orphans) {
+    DirEntry& e = dir_[HomeOf(key)][key];
+    if (e.owner != kNoController) {
+      // A live owner exists (ownership moved just before the crash): the
+      // orphaned replicas are stale; drop them.
+      for (const ControllerId h : holders) {
+        ctrls_[h]->cache.Erase(key);
+        EraseExtra(h, key);
+      }
+      continue;
+    }
+    const ControllerId promoted = holders.front();
+    CacheNode::Frame* f = ctrls_[promoted]->cache.Find(key);
+    assert(f != nullptr);
+    f->is_replica = false;
+    f->replica_owner = kNoController;
+    f->dirty = true;
+    ++f->dirty_epoch;
+    e.owner = promoted;
+    e.sharers.erase(promoted);
+    FrameExtra& ex = Extra(promoted, key);
+    ex.replica_sites.assign(holders.begin() + 1, holders.end());
+    for (const ControllerId h : ex.replica_sites) {
+      CacheNode::Frame* rf = ctrls_[h]->cache.Find(key);
+      if (rf != nullptr) rf->replica_owner = promoted;
+    }
+    FlushPage(promoted, key);
+  }
+}
+
+// --- Introspection -------------------------------------------------------------------
+
+CacheCluster::Stats CacheCluster::Totals() const {
+  Stats t;
+  for (const auto& c : ctrls_) {
+    t.ops += c->stats.ops;
+    t.local_hits += c->stats.local_hits;
+    t.remote_hits += c->stats.remote_hits;
+    t.misses += c->stats.misses;
+    t.bytes_served += c->stats.bytes_served;
+    t.flushes += c->stats.flushes;
+    t.evictions += c->stats.evictions;
+    t.invalidations_received += c->stats.invalidations_received;
+  }
+  return t;
+}
+
+std::uint64_t CacheCluster::DirtyPages() const {
+  std::uint64_t n = 0;
+  for (const auto& c : ctrls_) {
+    c->cache.ForEach([&](const PageKey&, const CacheNode::Frame& f) {
+      if (f.dirty) ++n;
+    });
+  }
+  return n;
+}
+
+std::uint64_t CacheCluster::CachedPages() const {
+  std::uint64_t n = 0;
+  for (const auto& c : ctrls_) n += c->cache.size();
+  return n;
+}
+
+std::vector<double> CacheCluster::LoadByController() const {
+  std::vector<double> loads;
+  loads.reserve(ctrls_.size());
+  for (const auto& c : ctrls_) {
+    loads.push_back(static_cast<double>(c->stats.bytes_served));
+  }
+  return loads;
+}
+
+}  // namespace nlss::cache

@@ -1,0 +1,237 @@
+// CacheCluster: the paper's pooled, coherent, distributed write-back cache
+// (§2.2, §6.1, §6.3).
+//
+// Every controller blade contributes a CacheNode to one cluster-wide pool.
+// Coherence is directory-based: each page has a *home* controller (hash of
+// the page over the live set) whose directory entry serializes conflicting
+// operations and tracks the owner (dirty/exclusive holder) and sharers.
+//
+//   read  miss -> GETS to home -> data forwarded from owner/sharer cache,
+//                 or read from the backing store (RAID) by the home.
+//   write      -> GETX to home -> current content fetched if partial,
+//                 all other holders invalidated, requester becomes owner,
+//                 the dirty page is replicated into N-1 peer caches
+//                 (paper §6.1 N-way replication) before the write is acked,
+//                 then asynchronously flushed to the backing store; the
+//                 replicas are unpinned once the flush lands.
+//
+// Controller failure drops that node's cache; Recover() rebuilds every
+// directory shard from the surviving caches and promotes orphaned replicas
+// to dirty owners, so committed writes survive up to N-1 failures.
+//
+// All inter-controller traffic crosses the net::Fabric (the paper's
+// "network as backplane"), so bandwidth and latency effects are real.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/backing.h"
+#include "cache/node.h"
+#include "cache/types.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "util/units.h"
+
+namespace nlss::cache {
+
+class CacheCluster {
+ public:
+  struct Config {
+    std::uint32_t page_bytes = 64 * util::KiB;
+    std::uint64_t node_capacity_pages = 1024;
+    std::uint32_t replication = 2;      // N-way total copies of dirty data
+    sim::Tick local_access_ns = 2000;   // cache-hit service latency
+    std::uint32_t ctrl_msg_bytes = 128; // coherence control message size
+    double serve_ns_per_byte = 0.2;     // controller data engine (~5 GB/s)
+    sim::Tick flush_delay_ns = 0;       // write-back aging before flushing
+    // Disk-side Fibre Channel feed per blade (paper: 2 x 2 Gb/s).  All of a
+    // controller's backing-store traffic serializes through this resource.
+    // 0 disables the FC bandwidth model.
+    double fc_ns_per_byte = 0.0;
+    // Sequential readahead: on a demand miss, also fetch the next N pages
+    // (paper §4 "storage prefetch operations").  0 disables.
+    std::uint32_t readahead_pages = 0;
+  };
+
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bytes_served = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations_received = 0;
+  };
+
+  using ReadCallback = std::function<void(bool ok, util::Bytes data)>;
+  using WriteCallback = std::function<void(bool ok)>;
+
+  /// `controller_nodes` are fabric nodes of the controller blades (already
+  /// connected to each other / to switches by the caller).
+  CacheCluster(sim::Engine& engine, net::Fabric& fabric,
+               std::vector<net::NodeId> controller_nodes, Config config);
+
+  /// Attach a volume's backing store.  Volume ids are caller-chosen.
+  void RegisterVolume(std::uint32_t volume, BackingStore* backing);
+
+  /// Byte-granular cached I/O, entering the cluster at controller `via`.
+  /// `priority` is the per-file cache retention priority (paper §4):
+  /// higher-priority pages are evicted last.
+  void Read(ControllerId via, std::uint32_t volume, std::uint64_t offset,
+            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0);
+  void Write(ControllerId via, std::uint32_t volume, std::uint64_t offset,
+             std::span<const std::uint8_t> data, WriteCallback cb,
+             std::uint8_t priority = 0);
+
+  /// Override the replication factor for a single write (per-file policy
+  /// support, paper §4): 1 = no peer copies.
+  void WriteWithReplication(ControllerId via, std::uint32_t volume,
+                            std::uint64_t offset,
+                            std::span<const std::uint8_t> data,
+                            std::uint32_t replication, WriteCallback cb,
+                            std::uint8_t priority = 0);
+
+  /// Flush every dirty page to backing; cb(true) when clean.
+  void FlushAll(WriteCallback cb);
+
+  /// Fail a controller: its cache contents vanish, its fabric node goes
+  /// down.  Call Recover() afterwards to restore coherence service.
+  void FailController(ControllerId ctrl);
+
+  /// Sudden crash: the blade vanishes from the fabric and loses its cache,
+  /// but the cluster has NOT noticed yet (alive stays true; operations
+  /// involving it fail via dropped messages).  A failure detector is
+  /// expected to observe the silence and call FailController + Recover.
+  void CrashController(ControllerId ctrl);
+
+  /// Rebuild directories from surviving caches and promote orphaned
+  /// replicas of dead owners to dirty pages (then flush them).
+  void Recover();
+
+  /// Return a failed controller to service with an empty cache (replaced
+  /// or upgraded blade).  Call Recover() afterwards to rebalance homes.
+  void ReviveController(ControllerId ctrl);
+
+  // --- Introspection ------------------------------------------------------
+  std::size_t controller_count() const { return ctrls_.size(); }
+  std::size_t live_count() const { return live_.size(); }
+  bool IsAlive(ControllerId c) const { return ctrls_[c]->alive; }
+  const Stats& stats(ControllerId c) const { return ctrls_[c]->stats; }
+  Stats Totals() const;
+  sim::Resource& compute(ControllerId c) { return ctrls_[c]->compute; }
+  sim::Resource& fc(ControllerId c) { return ctrls_[c]->fc; }
+  std::uint64_t DirtyPages() const;
+  std::uint64_t CachedPages() const;
+  /// Per-controller bytes served (hot-spot imbalance input).
+  std::vector<double> LoadByController() const;
+  const Config& config() const { return config_; }
+  CacheNode& node(ControllerId c) { return ctrls_[c]->cache; }
+
+ private:
+  struct Controller {
+    net::NodeId node;
+    CacheNode cache;
+    sim::Resource compute;
+    sim::Resource fc;  // disk-side Fibre Channel bandwidth
+    bool alive = true;
+    Stats stats;
+    Controller(net::NodeId n, std::uint64_t cap, sim::Engine& e)
+        : node(n), cache(cap), compute(e), fc(e) {}
+  };
+
+  struct DirEntry {
+    ControllerId owner = kNoController;
+    std::set<ControllerId> sharers;
+    bool busy = false;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  struct FrameExtra {
+    // Cluster-side bookkeeping for dirty frames, keyed (ctrl, page).
+    std::vector<ControllerId> replica_sites;
+    bool flushing = false;
+    std::vector<std::function<void()>> flush_waiters;
+  };
+
+  using Failure = std::function<void()>;
+
+  ControllerId HomeOf(const PageKey& key) const;
+  std::uint32_t PageBlocks(std::uint32_t volume) const;
+
+  /// Fabric send between controllers with explicit failure path.
+  void Msg(ControllerId from, ControllerId to, std::uint64_t bytes,
+           std::function<void()> delivered, Failure on_drop);
+
+  /// Serialize per-page operations through the home directory entry.
+  void AcquireEntry(ControllerId home, const PageKey& key,
+                    std::function<void()> fn);
+  void ReleaseEntry(ControllerId home, const PageKey& key);
+
+  /// Make room and insert/overwrite a frame with `data`.
+  CacheNode::Frame& InstallFrame(ControllerId ctrl, const PageKey& key,
+                                 util::Bytes data);
+  void EnsureRoom(ControllerId ctrl);
+
+  // Protocol steps (home side).
+  void HandleGetS(ControllerId via, PageKey key, std::uint8_t priority,
+                  std::function<void(bool, util::Bytes)> cb);
+  void HandleGetX(ControllerId via, PageKey key, std::uint32_t offset,
+                  util::Bytes data, std::uint32_t replication,
+                  std::uint8_t priority, WriteCallback cb);
+  /// Deliver current page content to `via` from owner/sharer/backing.
+  /// Does NOT register `via` anywhere.  cb(false) on unrecoverable miss.
+  void FetchCurrent(ControllerId via, PageKey key,
+                    std::function<void(bool, util::Bytes)> cb);
+  void InvalidateHolders(ControllerId except, PageKey key,
+                         std::function<void()> done);
+  /// Erase a frame at `ctrl` and unpin any replicas it parked on peers.
+  void DropFrameWithReplicas(ControllerId ctrl, const PageKey& key);
+  void ReplicateDirty(ControllerId owner_ctrl, PageKey key,
+                      std::uint32_t replication, std::function<void()> done);
+
+  /// Backing I/O issued by controller `ctrl` (charges its FC feed).
+  void ReadFromBacking(ControllerId ctrl, PageKey key,
+                       BackingStore::ReadCallback cb);
+  void WriteToBacking(ControllerId ctrl, PageKey key, const util::Bytes& data,
+                      BackingStore::WriteCallback cb);
+
+  /// Asynchronous write-back of a dirty page.
+  void FlushPage(ControllerId ctrl, PageKey key,
+                 std::function<void(bool)> cb = nullptr);
+
+  /// Page-granular entry points used by Read/Write.
+  void ReadPage(ControllerId via, PageKey key,
+                std::function<void(bool, util::Bytes)> cb,
+                bool demand = true, std::uint8_t priority = 0);
+  /// Kick sequential readahead after a demand miss on `key`.
+  void MaybeReadahead(ControllerId via, PageKey key);
+  void WritePage(ControllerId via, PageKey key, std::uint32_t offset,
+                 util::Bytes data, std::uint32_t replication,
+                 std::uint8_t priority, WriteCallback cb);
+
+  FrameExtra& Extra(ControllerId ctrl, const PageKey& key);
+  void EraseExtra(ControllerId ctrl, const PageKey& key);
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  Config config_;
+  std::vector<std::unique_ptr<Controller>> ctrls_;
+  std::vector<ControllerId> live_;
+  // dir_[home] holds the directory shard for pages homed at `home`.
+  std::vector<std::unordered_map<PageKey, DirEntry, PageKeyHash>> dir_;
+  std::unordered_map<std::uint32_t, BackingStore*> volumes_;
+  // Extra per-frame metadata (replica sites, flush state), keyed per ctrl.
+  std::vector<std::unordered_map<PageKey, FrameExtra, PageKeyHash>> extra_;
+  // Readahead fetches currently in flight (suppresses duplicates).
+  std::unordered_map<PageKey, bool, PageKeyHash> readahead_inflight_;
+};
+
+}  // namespace nlss::cache

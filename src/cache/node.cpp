@@ -1,0 +1,64 @@
+#include "cache/node.h"
+
+#include <cassert>
+
+namespace nlss::cache {
+
+CacheNode::Frame* CacheNode::Find(const PageKey& key) {
+  auto it = frames_.find(key);
+  return it == frames_.end() ? nullptr : &it->second.frame;
+}
+
+const CacheNode::Frame* CacheNode::Find(const PageKey& key) const {
+  auto it = frames_.find(key);
+  return it == frames_.end() ? nullptr : &it->second.frame;
+}
+
+void CacheNode::Touch(const PageKey& key) {
+  auto it = frames_.find(key);
+  if (it == frames_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+}
+
+CacheNode::Frame& CacheNode::Emplace(const PageKey& key) {
+  assert(frames_.find(key) == frames_.end());
+  lru_.push_back(key);
+  auto& entry = frames_[key];
+  entry.lru_it = std::prev(lru_.end());
+  return entry.frame;
+}
+
+void CacheNode::Erase(const PageKey& key) {
+  auto it = frames_.find(key);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_it);
+  frames_.erase(it);
+}
+
+std::optional<PageKey> CacheNode::ChooseVictim(bool require_clean) const {
+  // Among evictable frames, take the lowest retention priority; ties break
+  // by LRU order (the scan is in LRU order, so the first frame seen at the
+  // winning priority is the least recently used one).
+  std::optional<PageKey> best;
+  int best_priority = 256;
+  for (const PageKey& key : lru_) {
+    const auto it = frames_.find(key);
+    const Frame& f = it->second.frame;
+    if (f.busy) continue;
+    if (f.is_replica) continue;  // replicas are pinned until flushed
+    if (require_clean && f.dirty) continue;
+    if (f.priority < best_priority) {
+      best_priority = f.priority;
+      best = key;
+      if (best_priority == 0) break;  // cannot do better
+    }
+  }
+  return best;
+}
+
+void CacheNode::Clear() {
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace nlss::cache

@@ -1,0 +1,77 @@
+// CacheNode: one controller blade's local page cache — frames, LRU
+// replacement, pinning.  All coherence decisions live in CacheCluster;
+// this class only manages local frame storage.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/types.h"
+#include "util/bytes.h"
+
+namespace nlss::cache {
+
+class CacheNode {
+ public:
+  struct Frame {
+    util::Bytes data;
+    bool dirty = false;
+    bool busy = false;      // operation (fill/flush) in progress: not evictable
+    bool is_replica = false;  // N-way replication copy held for a peer
+    ControllerId replica_owner = kNoController;  // valid when is_replica
+    std::uint64_t dirty_epoch = 0;  // bumped per write; guards stale flushes
+    std::uint8_t priority = 0;  // retention priority (paper §4): evict low first
+  };
+
+  explicit CacheNode(std::uint64_t capacity_pages)
+      : capacity_pages_(capacity_pages) {}
+
+  /// Lookup; returns nullptr on miss.  Does not touch LRU.
+  Frame* Find(const PageKey& key);
+  const Frame* Find(const PageKey& key) const;
+
+  /// Move to MRU position.
+  void Touch(const PageKey& key);
+
+  /// Insert a new frame (key must be absent).  Caller must have made room.
+  Frame& Emplace(const PageKey& key);
+
+  void Erase(const PageKey& key);
+
+  bool Full() const { return frames_.size() >= capacity_pages_; }
+  std::size_t size() const { return frames_.size(); }
+  std::uint64_t capacity_pages() const { return capacity_pages_; }
+
+  /// LRU-order victim that is neither busy nor a pinned replica.  With
+  /// `require_clean`, dirty frames are skipped too (the cluster evicts
+  /// clean frames immediately and schedules flushes for dirty ones).
+  /// nullopt if nothing qualifies.
+  std::optional<PageKey> ChooseVictim(bool require_clean) const;
+
+  /// Drop every frame (controller failure).
+  void Clear();
+
+  /// Iterate frames (directory rebuild, replica promotion).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : frames_) fn(key, entry.frame);
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (auto& [key, entry] : frames_) fn(key, entry.frame);
+  }
+
+ private:
+  struct Entry {
+    Frame frame;
+    std::list<PageKey>::iterator lru_it;
+  };
+
+  std::uint64_t capacity_pages_;
+  std::unordered_map<PageKey, Entry, PageKeyHash> frames_;
+  std::list<PageKey> lru_;  // front = LRU, back = MRU
+};
+
+}  // namespace nlss::cache

@@ -1,0 +1,33 @@
+// Shared identifiers for the distributed cache layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace nlss::cache {
+
+/// Identifies one cache page: (volume, page index within volume).
+struct PageKey {
+  std::uint32_t volume = 0;
+  std::uint64_t page = 0;
+
+  friend bool operator==(const PageKey&, const PageKey&) = default;
+  friend auto operator<=>(const PageKey&, const PageKey&) = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const {
+    // splitmix-style mix of the two fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(k.volume) << 48) ^ k.page;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+using ControllerId = std::uint32_t;
+inline constexpr ControllerId kNoController = ~0u;
+
+}  // namespace nlss::cache

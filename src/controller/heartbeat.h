@@ -1,0 +1,50 @@
+// Heartbeat failure detector: the cluster-availability machinery behind the
+// paper's §6.3 "if any given portion of the system failed, access to data
+// would continue through remaining portions" — modelled on the VAX Cluster
+// lineage the paper cites.
+//
+// The lowest-id live blade acts as the monitor: every interval it probes
+// its peers over the fabric.  A peer that misses `miss_threshold`
+// consecutive probes is declared dead: the detector fails it out of the
+// cache cluster and runs recovery (directory rebuild + replica promotion),
+// after which I/O continues without operator action.  If the monitor blade
+// itself dies, the next-lowest live blade takes over (probes simply start
+// originating there on the following tick).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/system.h"
+
+namespace nlss::controller {
+
+class HeartbeatMonitor {
+ public:
+  struct Config {
+    sim::Tick interval_ns = 50 * util::kNsPerMs;
+    std::uint32_t miss_threshold = 3;
+  };
+
+  explicit HeartbeatMonitor(StorageSystem& system)
+      : HeartbeatMonitor(system, Config()) {}
+  HeartbeatMonitor(StorageSystem& system, Config config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  std::uint32_t detections() const { return detections_; }
+  bool running() const { return running_; }
+
+ private:
+  void Tick();
+  cache::ControllerId MonitorBlade() const;
+
+  StorageSystem& system_;
+  Config config_;
+  bool running_ = false;
+  std::vector<std::uint32_t> misses_;
+  std::uint32_t detections_ = 0;
+};
+
+}  // namespace nlss::controller

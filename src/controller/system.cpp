@@ -1,0 +1,261 @@
+#include "controller/system.h"
+
+#include <cassert>
+
+namespace nlss::controller {
+
+StorageSystem::StorageSystem(sim::Engine& engine, net::Fabric& fabric,
+                             SystemConfig config)
+    : engine_(engine), fabric_(fabric), config_(std::move(config)) {
+  assert(config_.controllers >= 1);
+
+  // Host-side switch and controller blades; full backplane mesh between
+  // blades plus a host-side FC link from the switch to every blade.
+  switch_node_ = fabric_.AddNode(config_.name + "-switch");
+  for (std::uint32_t i = 0; i < config_.controllers; ++i) {
+    const net::NodeId n =
+        fabric_.AddNode(config_.name + "-ctrl" + std::to_string(i));
+    fabric_.Connect(switch_node_, n, config_.host_link);
+    for (const net::NodeId prev : controller_nodes_) {
+      fabric_.Connect(prev, n, config_.backplane);
+    }
+    controller_nodes_.push_back(n);
+  }
+
+  // Disk farms and RAID groups (each group on its own shelf).
+  for (std::uint32_t g = 0; g < config_.raid_groups; ++g) {
+    farms_.push_back(std::make_unique<disk::DiskFarm>(
+        engine_, config_.disk_profile, config_.disks_per_group,
+        config_.name + "-g" + std::to_string(g) + "-d"));
+    std::vector<disk::Disk*> disks;
+    for (std::size_t i = 0; i < farms_[g]->size(); ++i) {
+      disks.push_back(&farms_[g]->at(i));
+    }
+    raid::RaidGroup::Config rc;
+    rc.level = config_.raid_level;
+    rc.unit_blocks = config_.raid_unit_blocks;
+    groups_.push_back(
+        std::make_unique<raid::RaidGroup>(engine_, std::move(disks), rc));
+  }
+
+  std::vector<raid::RaidGroup*> group_ptrs;
+  for (const auto& g : groups_) group_ptrs.push_back(g.get());
+  pool_ = std::make_unique<virt::StoragePool>(std::move(group_ptrs),
+                                              config_.extent_blocks);
+
+  cache_ = std::make_unique<cache::CacheCluster>(engine_, fabric_,
+                                                 controller_nodes_,
+                                                 config_.cache);
+  rebuild_ = std::make_unique<raid::RebuildEngine>(engine_);
+  for (std::uint32_t i = 0; i < config_.controllers; ++i) {
+    rebuild_->AddWorker(&cache_->compute(i));
+  }
+  chargeback_ = std::make_unique<virt::ChargeBack>(engine_);
+  outstanding_.assign(config_.controllers, 0);
+}
+
+StorageSystem::~StorageSystem() = default;
+
+net::NodeId StorageSystem::AttachHost(const std::string& name) {
+  const net::NodeId host = fabric_.AddNode(name);
+  fabric_.Connect(host, switch_node_, config_.host_link);
+  return host;
+}
+
+VolumeId StorageSystem::CreateVolume(const std::string& tenant,
+                                     std::uint64_t bytes, bool preallocate) {
+  const std::uint32_t bs = pool_->block_size();
+  const std::uint64_t blocks = (bytes + bs - 1) / bs;
+  const VolumeId id = static_cast<VolumeId>(volumes_.size());
+  volumes_.push_back(std::make_unique<virt::DemandMappedVolume>(
+      engine_, *pool_, blocks, tenant, id));
+  if (preallocate) {
+    const bool ok = volumes_.back()->Preallocate();
+    assert(ok && "pool too small for preallocated volume");
+    (void)ok;
+  }
+  cache_->RegisterVolume(id, volumes_.back().get());
+  chargeback_->Track(volumes_.back().get());
+  return id;
+}
+
+cache::ControllerId StorageSystem::PickController(VolumeId vol) {
+  switch (config_.balancing) {
+    case Balancing::kStaticByVolume: {
+      // Traditional LUN ownership; fall over to the next blade if dead.
+      for (std::uint32_t k = 0; k < config_.controllers; ++k) {
+        const cache::ControllerId c = (vol + k) % config_.controllers;
+        if (cache_->IsAlive(c)) return c;
+      }
+      return 0;
+    }
+    case Balancing::kLeastBusy: {
+      cache::ControllerId best = 0;
+      std::uint32_t best_load = ~0u;
+      for (std::uint32_t c = 0; c < config_.controllers; ++c) {
+        if (!cache_->IsAlive(c)) continue;
+        if (outstanding_[c] < best_load) {
+          best_load = outstanding_[c];
+          best = c;
+        }
+      }
+      return best;
+    }
+    case Balancing::kRoundRobin:
+    default: {
+      for (std::uint32_t k = 0; k < config_.controllers; ++k) {
+        const cache::ControllerId c =
+            (rr_next_ + k) % config_.controllers;
+        if (cache_->IsAlive(c)) {
+          rr_next_ = (c + 1) % config_.controllers;
+          return c;
+        }
+      }
+      return 0;
+    }
+  }
+}
+
+void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
+                         std::uint32_t length, ReadCallback cb,
+                         std::uint8_t priority) {
+  // Host-driver multipathing: re-issue via another blade on failure.
+  auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
+  auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
+  *attempt = [this, host, vol, offset, length, priority, shared_cb,
+              attempt](std::uint32_t retries_left) {
+    ReadOnce(host, vol, offset, length, priority,
+             [this, shared_cb, attempt, retries_left](bool ok,
+                                                      util::Bytes data) {
+               if (ok || retries_left == 0) {
+                 (*shared_cb)(ok, std::move(data));
+                 return;
+               }
+               engine_.Schedule(config_.retry_delay_ns,
+                                [attempt, retries_left] {
+                                  (*attempt)(retries_left - 1);
+                                });
+             });
+  };
+  (*attempt)(config_.io_retries);
+}
+
+void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
+                             std::uint64_t offset, std::uint32_t length,
+                             std::uint8_t priority, ReadCallback cb) {
+  const cache::ControllerId ctrl = PickController(vol);
+  ++outstanding_[ctrl];
+  auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
+  // Request command to the blade (small), response data back to the host.
+  fabric_.Send(
+      host, controller_nodes_[ctrl], config_.cache.ctrl_msg_bytes,
+      [this, host, ctrl, vol, offset, length, priority, shared_cb] {
+        cache_->Read(
+            ctrl, vol, offset, length,
+            [this, host, ctrl, shared_cb](bool ok, util::Bytes data) {
+                       --outstanding_[ctrl];
+                       if (!ok) {
+                         (*shared_cb)(false, {});
+                         return;
+                       }
+                       auto payload =
+                           std::make_shared<util::Bytes>(std::move(data));
+                       fabric_.Send(
+                           controller_nodes_[ctrl], host, payload->size(),
+                           [shared_cb, payload] {
+                             (*shared_cb)(true, std::move(*payload));
+                           },
+                           [shared_cb] { (*shared_cb)(false, {}); });
+                     });
+      },
+      [this, ctrl, shared_cb] {
+        --outstanding_[ctrl];
+        (*shared_cb)(false, {});
+      });
+}
+
+void StorageSystem::Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
+                          std::span<const std::uint8_t> data,
+                          WriteCallback cb) {
+  WriteReplicated(host, vol, offset, data, config_.cache.replication,
+                  std::move(cb));
+}
+
+void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
+                                    std::uint64_t offset,
+                                    std::span<const std::uint8_t> data,
+                                    std::uint32_t replication,
+                                    WriteCallback cb, std::uint8_t priority) {
+  auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
+  auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
+  auto outer_cb = std::make_shared<WriteCallback>(std::move(cb));
+  *attempt = [this, host, vol, offset, payload, replication, priority,
+              outer_cb, attempt](std::uint32_t retries_left) {
+    WriteOnce(host, vol, offset, payload, replication, priority,
+              [this, outer_cb, attempt, retries_left](bool ok) {
+                if (ok || retries_left == 0) {
+                  (*outer_cb)(ok);
+                  return;
+                }
+                engine_.Schedule(config_.retry_delay_ns,
+                                 [attempt, retries_left] {
+                                   (*attempt)(retries_left - 1);
+                                 });
+              });
+  };
+  (*attempt)(config_.io_retries);
+}
+
+void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
+                              std::uint64_t offset,
+                              std::shared_ptr<util::Bytes> payload,
+                              std::uint32_t replication, std::uint8_t priority,
+                              WriteCallback cb) {
+  const cache::ControllerId ctrl = PickController(vol);
+  ++outstanding_[ctrl];
+  auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+  // Data travels host -> blade, then the ack returns blade -> host.
+  fabric_.Send(
+      host, controller_nodes_[ctrl], payload->size(),
+      [this, host, ctrl, vol, offset, replication, priority, payload,
+       shared_cb] {
+        cache_->WriteWithReplication(
+            ctrl, vol, offset, *payload, replication,
+            [this, host, ctrl, shared_cb](bool ok) {
+              --outstanding_[ctrl];
+              if (!ok) {
+                (*shared_cb)(false);
+                return;
+              }
+              fabric_.Send(
+                  controller_nodes_[ctrl], host, config_.cache.ctrl_msg_bytes,
+                  [shared_cb] { (*shared_cb)(true); },
+                  [shared_cb] { (*shared_cb)(false); });
+            },
+            priority);
+      },
+      [this, ctrl, shared_cb] {
+        --outstanding_[ctrl];
+        (*shared_cb)(false);
+      });
+}
+
+void StorageSystem::FailController(std::uint32_t i) {
+  cache_->FailController(i);
+  rebuild_->SetWorkerAlive(static_cast<int>(i), false);
+}
+
+void StorageSystem::ReviveController(std::uint32_t i) {
+  cache_->ReviveController(i);
+  rebuild_->SetWorkerAlive(static_cast<int>(i), true);
+}
+
+void StorageSystem::FailAndRebuildDisk(std::uint32_t g, std::uint32_t d,
+                                       std::function<void(bool)> on_done) {
+  groups_[g]->disk(d).Fail();
+  groups_[g]->RefreshMemberStates();
+  groups_[g]->disk(d).Replace();
+  rebuild_->Rebuild(*groups_[g], d, std::move(on_done));
+}
+
+}  // namespace nlss::controller

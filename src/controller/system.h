@@ -1,0 +1,159 @@
+// StorageSystem: one-site assembly of the paper's architecture.
+//
+// Builds the full stack — disk farms, RAID groups, storage pool, demand-
+// mapped volumes, controller blades with coherent pooled cache, fabric
+// topology (hosts -> FC switch -> controller mesh) — and exposes host-level
+// I/O entry points with pluggable load balancing across blades.
+//
+//   host ---FC---> [switch] ---FC---> controller blade (cache cluster)
+//                                        |  backplane mesh (coherence)
+//                                        |  FC feed -> RAID -> disk farm
+//
+// This is the object examples and benchmarks instantiate; the geo layer
+// deploys one per site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "disk/disk.h"
+#include "net/fabric.h"
+#include "raid/group.h"
+#include "raid/rebuild.h"
+#include "sim/engine.h"
+#include "virt/chargeback.h"
+#include "virt/pool.h"
+#include "virt/volume.h"
+
+namespace nlss::controller {
+
+using VolumeId = std::uint32_t;
+
+enum class Balancing {
+  kRoundRobin,     // spread requests over all live blades (the paper's mode)
+  kLeastBusy,      // pick the blade with the lowest outstanding-op count
+  kStaticByVolume  // traditional LUN ownership: volume -> fixed blade
+};
+
+struct SystemConfig {
+  std::string name = "site";
+  std::uint32_t controllers = 4;
+  std::uint32_t raid_groups = 4;
+  std::uint32_t disks_per_group = 5;
+  raid::RaidLevel raid_level = raid::RaidLevel::kRaid5;
+  std::uint32_t raid_unit_blocks = 16;
+  disk::DiskProfile disk_profile;
+  std::uint32_t extent_blocks = 256;  // 1 MiB pool extents
+  cache::CacheCluster::Config cache;
+  net::LinkProfile host_link = net::LinkProfile::FibreChannel2G();
+  net::LinkProfile backplane = net::LinkProfile::Backplane();
+  Balancing balancing = Balancing::kRoundRobin;
+  // Host-driver multipathing (paper §2.1 "powerful device drivers"): failed
+  // requests are retried via another blade after a short delay.
+  std::uint32_t io_retries = 2;
+  sim::Tick retry_delay_ns = 1 * util::kNsPerMs;
+};
+
+class StorageSystem {
+ public:
+  StorageSystem(sim::Engine& engine, net::Fabric& fabric, SystemConfig config);
+  ~StorageSystem();
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  // --- Topology -------------------------------------------------------------
+  /// Add a host: creates a fabric node linked to the host-side switch.
+  net::NodeId AttachHost(const std::string& name);
+  net::NodeId switch_node() const { return switch_node_; }
+  net::NodeId controller_node(std::uint32_t i) const {
+    return controller_nodes_[i];
+  }
+
+  // --- Volumes ----------------------------------------------------------------
+  VolumeId CreateVolume(const std::string& tenant, std::uint64_t bytes,
+                        bool preallocate = false);
+  virt::DemandMappedVolume& volume(VolumeId id) { return *volumes_[id]; }
+  std::size_t volume_count() const { return volumes_.size(); }
+
+  // --- Host I/O ----------------------------------------------------------------
+  using ReadCallback = cache::CacheCluster::ReadCallback;
+  using WriteCallback = cache::CacheCluster::WriteCallback;
+
+  /// Cached I/O from `host`, routed to a blade by the balancing policy.
+  /// Timing includes the host->blade and blade->host fabric transfers.
+  /// `priority` is the cache retention priority (per-file policy, §4).
+  void Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
+            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0);
+  void Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
+             std::span<const std::uint8_t> data, WriteCallback cb);
+
+  /// Same, with per-request replication/priority overrides (per-file
+  /// policies).
+  void WriteReplicated(net::NodeId host, VolumeId vol, std::uint64_t offset,
+                       std::span<const std::uint8_t> data,
+                       std::uint32_t replication, WriteCallback cb,
+                       std::uint8_t priority = 0);
+
+  /// Expose blade selection for components (streaming, protocols).
+  cache::ControllerId PickController(VolumeId vol);
+
+  // --- Failure / maintenance ------------------------------------------------------
+  void FailController(std::uint32_t i);
+  /// Sudden crash the cluster has not yet noticed (pair with a
+  /// HeartbeatMonitor, or call RecoverCluster after FailController).
+  void CrashController(std::uint32_t i) { cache_->CrashController(i); }
+  void ReviveController(std::uint32_t i);
+  void RecoverCluster() { cache_->Recover(); }
+  /// Fail disk `d` of group `g`, replace it, and rebuild across blades.
+  void FailAndRebuildDisk(std::uint32_t g, std::uint32_t d,
+                          std::function<void(bool)> on_done);
+
+  // --- Components --------------------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+  cache::CacheCluster& cache() { return *cache_; }
+  virt::StoragePool& pool() { return *pool_; }
+  raid::RaidGroup& group(std::uint32_t g) { return *groups_[g]; }
+  std::uint32_t group_count() const {
+    return static_cast<std::uint32_t>(groups_.size());
+  }
+  raid::RebuildEngine& rebuild() { return *rebuild_; }
+  virt::ChargeBack& chargeback() { return *chargeback_; }
+  const SystemConfig& config() const { return config_; }
+  std::uint32_t controller_count() const { return config_.controllers; }
+
+  /// Outstanding host ops per controller (for kLeastBusy and diagnostics).
+  const std::vector<std::uint32_t>& outstanding() const { return outstanding_; }
+
+ private:
+  /// Single attempts (no retry); the public entry points wrap these with
+  /// the host-driver multipath retry loop.
+  void ReadOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
+                std::uint32_t length, std::uint8_t priority, ReadCallback cb);
+  void WriteOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
+                 std::shared_ptr<util::Bytes> payload,
+                 std::uint32_t replication, std::uint8_t priority,
+                 WriteCallback cb);
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  SystemConfig config_;
+
+  net::NodeId switch_node_ = net::kInvalidNode;
+  std::vector<net::NodeId> controller_nodes_;
+  std::vector<std::unique_ptr<disk::DiskFarm>> farms_;
+  std::vector<std::unique_ptr<raid::RaidGroup>> groups_;
+  std::unique_ptr<virt::StoragePool> pool_;
+  std::unique_ptr<cache::CacheCluster> cache_;
+  std::unique_ptr<raid::RebuildEngine> rebuild_;
+  std::unique_ptr<virt::ChargeBack> chargeback_;
+  std::vector<std::unique_ptr<virt::DemandMappedVolume>> volumes_;
+  std::uint32_t rr_next_ = 0;
+  std::vector<std::uint32_t> outstanding_;
+};
+
+}  // namespace nlss::controller

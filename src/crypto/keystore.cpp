@@ -1,0 +1,54 @@
+#include "crypto/keystore.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nlss::crypto {
+
+KeyStore::KeyStore(std::span<const std::uint8_t> master_key)
+    : master_(master_key.begin(), master_key.end()) {}
+
+KeyStore::KeyStore(std::string_view master_passphrase) {
+  // Stretch the passphrase through SHA-256 (a stand-in for a real KDF).
+  const Digest256 d = Sha256::Hash(master_passphrase);
+  master_.assign(d.begin(), d.end());
+}
+
+Digest256 KeyStore::Derive(const std::string& label) const {
+  return HmacSha256(std::span<const std::uint8_t>(master_),
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(label.data()),
+                        label.size()));
+}
+
+VolumeKeys KeyStore::DeriveVolumeKeys(const std::string& tenant,
+                                      std::uint64_t volume_id) const {
+  const std::string base =
+      "vol/" + tenant + "/" + std::to_string(volume_id) + "/g" +
+      std::to_string(generation_);
+  VolumeKeys keys{};
+  const Digest256 dk = Derive(base + "/data");
+  const Digest256 tk = Derive(base + "/tweak");
+  std::copy(dk.begin(), dk.end(), keys.data_key.begin());
+  std::copy(tk.begin(), tk.end(), keys.tweak_key.begin());
+  return keys;
+}
+
+std::array<std::uint8_t, 32> KeyStore::DeriveTransportKey(
+    const std::string& endpoint_a, const std::string& endpoint_b) const {
+  // Order-independent so both ends derive the same key.
+  const std::string lo = std::min(endpoint_a, endpoint_b);
+  const std::string hi = std::max(endpoint_a, endpoint_b);
+  const Digest256 d =
+      Derive("link/" + lo + "/" + hi + "/g" + std::to_string(generation_));
+  std::array<std::uint8_t, 32> out{};
+  std::copy(d.begin(), d.end(), out.begin());
+  return out;
+}
+
+void KeyStore::Rotate(std::span<const std::uint8_t> new_master) {
+  master_.assign(new_master.begin(), new_master.end());
+  ++generation_;
+}
+
+}  // namespace nlss::crypto

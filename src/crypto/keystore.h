@@ -1,0 +1,48 @@
+// Key management for the encryption layers (paper §5): one master key per
+// deployment, per-tenant and per-volume data keys derived via HMAC so that
+// no tenant key reveals another's, and transport keys for inter-site links.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace nlss::crypto {
+
+/// Derived key material: two AES-256 keys (XTS data + tweak) or one CTR key.
+struct VolumeKeys {
+  std::array<std::uint8_t, 32> data_key;
+  std::array<std::uint8_t, 32> tweak_key;
+};
+
+class KeyStore {
+ public:
+  explicit KeyStore(std::span<const std::uint8_t> master_key);
+  explicit KeyStore(std::string_view master_passphrase);
+
+  /// Deterministically derive the at-rest keys for a volume of a tenant.
+  VolumeKeys DeriveVolumeKeys(const std::string& tenant,
+                              std::uint64_t volume_id) const;
+
+  /// Derive a transport (CTR) key for a site-to-site or host link.
+  std::array<std::uint8_t, 32> DeriveTransportKey(
+      const std::string& endpoint_a, const std::string& endpoint_b) const;
+
+  /// Rotate the master key; previously derived keys become invalid.
+  void Rotate(std::span<const std::uint8_t> new_master);
+
+  std::uint32_t generation() const { return generation_; }
+
+ private:
+  Digest256 Derive(const std::string& label) const;
+
+  std::vector<std::uint8_t> master_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace nlss::crypto

@@ -1,0 +1,46 @@
+// SHA-256 and HMAC-SHA-256 (FIPS 180-4 / RFC 2104).  Used for
+// authentication tokens, key derivation, and end-to-end content digests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace nlss::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view s);
+
+  /// Finalize and return the digest.  The object must not be reused after.
+  Digest256 Finish();
+
+  /// One-shot convenience.
+  static Digest256 Hash(std::span<const std::uint8_t> data);
+  static Digest256 Hash(std::string_view s);
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA-256 over `data` with `key`.
+Digest256 HmacSha256(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> data);
+Digest256 HmacSha256(std::string_view key, std::string_view data);
+
+/// Hex encoding for digests (diagnostics, audit log entries).
+std::string ToHex(std::span<const std::uint8_t> data);
+
+}  // namespace nlss::crypto

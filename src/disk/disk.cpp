@@ -1,0 +1,149 @@
+#include "disk/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace nlss::disk {
+
+util::Bytes BlockStore::Read(std::uint64_t lba, std::uint32_t count) const {
+  util::Bytes out(static_cast<std::size_t>(count) * block_size_, 0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = blocks_.find(lba + i);
+    if (it != blocks_.end()) {
+      std::memcpy(out.data() + static_cast<std::size_t>(i) * block_size_,
+                  it->second.data(), block_size_);
+    }
+  }
+  return out;
+}
+
+void BlockStore::Write(std::uint64_t lba, std::span<const std::uint8_t> data) {
+  assert(data.size() % block_size_ == 0);
+  const std::uint32_t count = static_cast<std::uint32_t>(data.size() / block_size_);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto& blk = blocks_[lba + i];
+    blk.assign(data.begin() + static_cast<std::ptrdiff_t>(i) * block_size_,
+               data.begin() + static_cast<std::ptrdiff_t>(i + 1) * block_size_);
+  }
+}
+
+void BlockStore::Trim(std::uint64_t lba, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) blocks_.erase(lba + i);
+}
+
+Disk::Disk(sim::Engine& engine, DiskProfile profile, std::string name)
+    : engine_(engine),
+      profile_(profile),
+      name_(std::move(name)),
+      store_(profile.block_size) {}
+
+sim::Tick Disk::ScheduleService(std::uint64_t lba, std::uint64_t bytes) {
+  // Sequential accesses skip the positioning penalty entirely.  Otherwise
+  // the seek follows a + b*sqrt(distance): short strides (slightly
+  // out-of-order streaming) pay about the track-to-track time plus a
+  // distance-scaled share of the rotation; a full-stroke seek pays ~2x the
+  // average seek plus half a rotation.
+  sim::Tick positioning = 0;
+  if (lba != next_sequential_lba_) {
+    const std::uint64_t distance = lba > next_sequential_lba_
+                                       ? lba - next_sequential_lba_
+                                       : next_sequential_lba_ - lba;
+    const double frac = std::min(
+        1.0, static_cast<double>(distance) /
+                 static_cast<double>(profile_.capacity_blocks));
+    // E[sqrt(U)] = 2/3, so b = 1.5*(avg - t2t) makes the uniform-random
+    // expectation equal avg_seek_ns.
+    const double seek =
+        static_cast<double>(profile_.track_to_track_ns) +
+        1.5 *
+            static_cast<double>(profile_.avg_seek_ns -
+                                profile_.track_to_track_ns) *
+            std::sqrt(frac);
+    const double rotation =
+        static_cast<double>(profile_.half_rotation_ns) *
+        std::min(1.0, 0.15 + std::sqrt(frac));
+    positioning = static_cast<sim::Tick>(std::llround(seek + rotation));
+  }
+  const auto transfer = static_cast<sim::Tick>(std::llround(
+      static_cast<double>(bytes) / profile_.media_bytes_per_ns));
+  const sim::Tick start = std::max(engine_.now(), busy_until_);
+  busy_until_ = start + positioning + transfer;
+  stats_.busy_ns += positioning + transfer;
+  next_sequential_lba_ = lba + bytes / profile_.block_size;
+  return busy_until_;
+}
+
+void Disk::Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb) {
+  assert(lba + count <= profile_.capacity_blocks);
+  if (failed_) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(false, {}); });
+    return;
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * profile_.block_size;
+  const sim::Tick done = ScheduleService(lba, bytes);
+  stats_.reads += 1;
+  stats_.bytes_read += bytes;
+  engine_.ScheduleAt(done, [this, lba, count, cb = std::move(cb)] {
+    if (failed_) {
+      cb(false, {});
+    } else {
+      cb(true, store_.Read(lba, count));
+    }
+  });
+}
+
+void Disk::Write(std::uint64_t lba, std::span<const std::uint8_t> data,
+                 WriteCallback cb) {
+  assert(data.size() % profile_.block_size == 0);
+  assert(lba + data.size() / profile_.block_size <= profile_.capacity_blocks);
+  if (failed_) {
+    engine_.Schedule(0, [cb = std::move(cb)] { cb(false); });
+    return;
+  }
+  const sim::Tick done = ScheduleService(lba, data.size());
+  stats_.writes += 1;
+  stats_.bytes_written += data.size();
+  // Data is captured by value: the caller's buffer may be reused before the
+  // simulated write completes.
+  util::Bytes copy(data.begin(), data.end());
+  engine_.ScheduleAt(done, [this, lba, copy = std::move(copy),
+                            cb = std::move(cb)] {
+    if (failed_) {
+      cb(false);
+    } else {
+      store_.Write(lba, copy);
+      cb(true);
+    }
+  });
+}
+
+void Disk::Trim(std::uint64_t lba, std::uint32_t count) {
+  if (!failed_) store_.Trim(lba, count);
+}
+
+void Disk::Replace() {
+  store_.Clear();
+  failed_ = false;
+  busy_until_ = engine_.now();
+  next_sequential_lba_ = 0;
+}
+
+DiskFarm::DiskFarm(sim::Engine& engine, const DiskProfile& profile,
+                   std::size_t count, const std::string& name_prefix) {
+  disks_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    disks_.push_back(std::make_unique<Disk>(
+        engine, profile, name_prefix + std::to_string(i)));
+  }
+}
+
+std::uint64_t DiskFarm::TotalCapacityBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& d : disks_) total += d->profile().capacity_bytes();
+  return total;
+}
+
+}  // namespace nlss::disk

@@ -1,0 +1,134 @@
+// Simulated disk drives: a mechanical service-time model (seek + rotation +
+// media transfer) over a sparse in-memory block store holding real bytes.
+// Requests are serviced FIFO, one at a time, like a single-actuator drive.
+//
+// Failure injection: Fail() makes every outstanding and subsequent request
+// complete unsuccessfully until Replace() installs a fresh (zeroed) drive,
+// which is how the RAID rebuild experiments (E4) kill and replace disks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bytes.h"
+#include "util/units.h"
+
+namespace nlss::disk {
+
+/// Mechanical parameters.  Defaults approximate a 2002-era 10k RPM FC
+/// drive.  Positioning cost scales with seek distance: short strides pay
+/// roughly the track-to-track time, a full-stroke seek pays ~2x the
+/// average, following the classic a + b*sqrt(distance) seek curve.
+struct DiskProfile {
+  sim::Tick track_to_track_ns = 800 * util::kNsPerUs;
+  sim::Tick avg_seek_ns = 4 * util::kNsPerMs;
+  sim::Tick half_rotation_ns = 3 * util::kNsPerMs;
+  double media_bytes_per_ns = util::MBpsToBytesPerNs(60.0);
+  std::uint32_t block_size = 4096;
+  std::uint64_t capacity_blocks = 256 * 1024;  // 1 GiB at 4 KiB blocks
+
+  std::uint64_t capacity_bytes() const {
+    return capacity_blocks * block_size;
+  }
+};
+
+/// Sparse block store: unwritten blocks read back as zeros.
+class BlockStore {
+ public:
+  explicit BlockStore(std::uint32_t block_size) : block_size_(block_size) {}
+
+  /// Read `count` blocks starting at `lba` into a contiguous buffer.
+  util::Bytes Read(std::uint64_t lba, std::uint32_t count) const;
+
+  /// Write contiguous data (must be count*block_size bytes) at `lba`.
+  void Write(std::uint64_t lba, std::span<const std::uint8_t> data);
+
+  /// Discard blocks (read back as zeros afterwards).
+  void Trim(std::uint64_t lba, std::uint32_t count);
+
+  void Clear() { blocks_.clear(); }
+
+  std::uint32_t block_size() const { return block_size_; }
+  std::size_t allocated_blocks() const { return blocks_.size(); }
+
+ private:
+  std::uint32_t block_size_;
+  std::unordered_map<std::uint64_t, util::Bytes> blocks_;
+};
+
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  sim::Tick busy_ns = 0;
+};
+
+class Disk {
+ public:
+  using ReadCallback = std::function<void(bool ok, util::Bytes data)>;
+  using WriteCallback = std::function<void(bool ok)>;
+
+  Disk(sim::Engine& engine, DiskProfile profile, std::string name);
+
+  /// Asynchronous block read; callback fires at simulated completion time.
+  void Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb);
+
+  /// Asynchronous block write.
+  void Write(std::uint64_t lba, std::span<const std::uint8_t> data,
+             WriteCallback cb);
+
+  /// Discard blocks; immediate (metadata-only) in this model.
+  void Trim(std::uint64_t lba, std::uint32_t count);
+
+  /// Inject a total drive failure.
+  void Fail() { failed_ = true; }
+
+  /// Swap in a fresh zeroed drive (keeps profile and identity).
+  void Replace();
+
+  bool failed() const { return failed_; }
+  const DiskProfile& profile() const { return profile_; }
+  const std::string& name() const { return name_; }
+  const DiskStats& stats() const { return stats_; }
+
+  /// Direct (zero-time) store access for verification in tests.
+  const BlockStore& store() const { return store_; }
+  BlockStore& store() { return store_; }
+
+ private:
+  /// Compute service time for an access and advance the FIFO horizon.
+  sim::Tick ScheduleService(std::uint64_t lba, std::uint64_t bytes);
+
+  sim::Engine& engine_;
+  DiskProfile profile_;
+  std::string name_;
+  BlockStore store_;
+  bool failed_ = false;
+  sim::Tick busy_until_ = 0;
+  std::uint64_t next_sequential_lba_ = 0;  // heads position for seek model
+  DiskStats stats_;
+};
+
+/// A shelf of identical disks.
+class DiskFarm {
+ public:
+  DiskFarm(sim::Engine& engine, const DiskProfile& profile, std::size_t count,
+           const std::string& name_prefix = "disk");
+
+  Disk& at(std::size_t i) { return *disks_[i]; }
+  const Disk& at(std::size_t i) const { return *disks_[i]; }
+  std::size_t size() const { return disks_.size(); }
+
+  std::uint64_t TotalCapacityBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace nlss::disk

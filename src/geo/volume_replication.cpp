@@ -1,0 +1,112 @@
+#include "geo/volume_replication.h"
+
+#include <memory>
+
+#include "util/units.h"
+
+namespace nlss::geo {
+
+ReplicatedBacking::ReplicatedBacking(sim::Engine& engine, net::Fabric& fabric,
+                                     cache::BackingStore& local,
+                                     net::NodeId local_gateway,
+                                     cache::BackingStore& remote,
+                                     net::NodeId remote_gateway, Config config)
+    : engine_(engine),
+      fabric_(fabric),
+      local_(local),
+      local_gw_(local_gateway),
+      remote_(remote),
+      remote_gw_(remote_gateway),
+      config_(config) {}
+
+void ReplicatedBacking::ReadBlocks(std::uint64_t block, std::uint32_t count,
+                                   ReadCallback cb) {
+  local_.ReadBlocks(block, count, std::move(cb));
+}
+
+void ReplicatedBacking::WriteBlocks(std::uint64_t block,
+                                    std::span<const std::uint8_t> data,
+                                    WriteCallback cb) {
+  if (config_.synchronous) {
+    // Local and remote writes in parallel; ack after both (one WAN round
+    // trip dominates).
+    auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+    auto remaining = std::make_shared<int>(2);
+    auto all_ok = std::make_shared<bool>(true);
+    auto arrive = [shared_cb, remaining, all_ok](bool ok) {
+      *all_ok = *all_ok && ok;
+      if (--*remaining == 0) (*shared_cb)(*all_ok);
+    };
+    local_.WriteBlocks(block, data, arrive);
+    auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
+    fabric_.Send(
+        local_gw_, remote_gw_, payload->size(),
+        [this, block, payload, arrive] {
+          remote_.WriteBlocks(block, *payload, [this, arrive](bool ok) {
+            ++replicated_writes_;
+            // Remote ack crosses back.
+            fabric_.Send(remote_gw_, local_gw_, config_.ctrl_msg_bytes,
+                         [arrive, ok] { arrive(ok); },
+                         [arrive] { arrive(false); });
+          });
+        },
+        [arrive] { arrive(false); });
+    return;
+  }
+  // Asynchronous: ack after the local write; queue the remote copy.
+  queue_.push_back(Update{block, util::Bytes(data.begin(), data.end())});
+  pending_bytes_ += data.size();
+  local_.WriteBlocks(block, data, std::move(cb));
+  if (!pumping_) {
+    pumping_ = true;
+    Pump();
+  }
+}
+
+void ReplicatedBacking::Pump() {
+  if (queue_.empty() || primary_failed_) {
+    pumping_ = false;
+    CheckDrained();
+    return;
+  }
+  // Head stays queued until applied remotely (in-flight counts as exposed).
+  auto update = std::make_shared<Update>(queue_.front());
+  fabric_.Send(
+      local_gw_, remote_gw_, update->data.size(),
+      [this, update] {
+        remote_.WriteBlocks(update->block, update->data, [this](bool) {
+          ++replicated_writes_;
+          if (!queue_.empty()) {
+            pending_bytes_ -= queue_.front().data.size();
+            queue_.pop_front();
+          }
+          Pump();
+        });
+      },
+      [this] {
+        // WAN down: back off and retry.
+        engine_.Schedule(10 * util::kNsPerMs, [this] { Pump(); });
+      });
+}
+
+void ReplicatedBacking::CheckDrained() {
+  if (!queue_.empty() || pumping_) return;
+  auto waiters = std::move(drain_waiters_);
+  drain_waiters_.clear();
+  for (auto& w : waiters) engine_.Schedule(0, std::move(w));
+}
+
+void ReplicatedBacking::Drain(std::function<void()> cb) {
+  drain_waiters_.push_back(std::move(cb));
+  CheckDrained();
+}
+
+std::uint64_t ReplicatedBacking::FailPrimary() {
+  primary_failed_ = true;
+  const std::uint64_t lost = pending_bytes_;
+  queue_.clear();
+  pending_bytes_ = 0;
+  return lost;
+}
+
+}  // namespace nlss::geo

@@ -1,0 +1,97 @@
+#include "mgmt/admin_http.h"
+
+#include <sstream>
+
+#include "mgmt/json.h"
+
+namespace nlss::mgmt {
+
+proto::HttpResponse AdminHttp::Json(int status,
+                                    const std::string& body) const {
+  proto::HttpResponse r;
+  r.status = status;
+  r.reason = status == 200   ? "OK"
+             : status == 401 ? "Unauthorized"
+             : status == 404 ? "Not Found"
+                             : "Bad Request";
+  r.body.assign(body.begin(), body.end());
+  r.content_length = r.body.size();
+  r.headers = "Content-Type: application/json\r\n";
+  return r;
+}
+
+std::optional<std::string> AdminHttp::Authenticate(
+    const std::string& raw) const {
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("Authorization:", 0) == 0) {
+      std::string token = line.substr(14);
+      while (!token.empty() && token.front() == ' ') token.erase(token.begin());
+      const auto user = auth_.Verify(token);
+      if (user.has_value() && auth_.HasRole(*user, "admin")) return user;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
+  const auto request = proto::ParseHttpRequest(raw_request);
+  if (!request.has_value()) {
+    return Json(400, "{\"error\":\"bad request\"}");
+  }
+  const auto admin = Authenticate(raw_request);
+  if (!admin.has_value()) {
+    audit_.Record("?", "admin-http-denied", request->path);
+    return Json(401, "{\"error\":\"admin authentication required\"}");
+  }
+  audit_.Record(*admin, "admin-http", request->path);
+
+  if (request->path == "/status") {
+    StatusReporter reporter(system_);
+    return Json(200, reporter.Report());
+  }
+  if (request->path == "/geo") {
+    if (geo_ == nullptr) return Json(404, "{\"error\":\"no geo cluster\"}");
+    return Json(200, GeoStatusReport(*geo_));
+  }
+  if (request->path == "/alerts") {
+    JsonWriter w;
+    w.BeginArray();
+    for (const Alert& a : alerts_.alerts()) {
+      w.BeginObject();
+      w.Field("when_ns", a.when);
+      w.Field("severity", a.severity == AlertSeverity::kCritical ? "critical"
+                          : a.severity == AlertSeverity::kWarning
+                              ? "warning"
+                              : "info");
+      w.Field("source", a.source);
+      w.Field("message", a.message);
+      w.EndObject();
+    }
+    w.EndArray();
+    return Json(200, w.str());
+  }
+  if (request->path == "/audit") {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("chain_intact", audit_.VerifyChain());
+    w.Key("entries").BeginArray();
+    for (const auto& e : audit_.entries()) {
+      w.BeginObject();
+      w.Field("when_ns", e.when);
+      w.Field("actor", e.actor);
+      w.Field("action", e.action);
+      w.Field("detail", e.detail);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return Json(200, w.str());
+  }
+  return Json(404, "{\"error\":\"unknown route\"}");
+}
+
+}  // namespace nlss::mgmt

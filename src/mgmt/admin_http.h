@@ -1,0 +1,48 @@
+// Web-based management endpoint (paper §7.3: "actual management could be
+// performed from Web-based interfaces, allowing even a distributed IT team
+// to interact with the single system image").
+//
+// Reuses the blade HTTP parser; serves JSON status documents over
+// authenticated admin sessions.  Routes:
+//   GET /status          single-site snapshot (StatusReporter)
+//   GET /geo             geo-cluster snapshot (when attached)
+//   GET /alerts          alert log
+//   GET /audit           audit chain (verifies integrity before serving)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "controller/system.h"
+#include "geo/geo.h"
+#include "mgmt/manager.h"
+#include "proto/http_server.h"
+#include "security/audit.h"
+#include "security/auth.h"
+
+namespace nlss::mgmt {
+
+class AdminHttp {
+ public:
+  AdminHttp(controller::StorageSystem& system, security::AuthService& auth,
+            AlertManager& alerts, security::AuditLog& audit)
+      : system_(system), auth_(auth), alerts_(alerts), audit_(audit) {}
+
+  void AttachGeo(geo::GeoCluster* geo) { geo_ = geo; }
+
+  /// Handle "GET <path> HTTP/1.0" with an auth token header line
+  /// "Authorization: <token>".  Admin role required.
+  proto::HttpResponse Handle(const std::string& raw_request);
+
+ private:
+  proto::HttpResponse Json(int status, const std::string& body) const;
+  std::optional<std::string> Authenticate(const std::string& raw) const;
+
+  controller::StorageSystem& system_;
+  security::AuthService& auth_;
+  AlertManager& alerts_;
+  security::AuditLog& audit_;
+  geo::GeoCluster* geo_ = nullptr;
+};
+
+}  // namespace nlss::mgmt

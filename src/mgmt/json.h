@@ -1,0 +1,46 @@
+// Minimal JSON writer for the management plane's web-style status API
+// (paper §7.3: "management could be performed from Web-based interfaces").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nlss::mgmt {
+
+/// Streaming JSON builder.  Keys/values are escaped; nesting is tracked so
+/// commas land where they should.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+
+  /// Convenience: Key(k) + Value(v).
+  template <typename T>
+  JsonWriter& Field(const std::string& k, T&& v) {
+    Key(k);
+    return Value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  static std::string Escape(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per nesting level
+  bool after_key_ = false;
+};
+
+}  // namespace nlss::mgmt

@@ -1,0 +1,73 @@
+#include "mgmt/mgmt_network.h"
+
+namespace nlss::mgmt {
+
+ManagementNetwork::ManagementNetwork(controller::StorageSystem& system,
+                                     AdminHttp& admin, Config config)
+    : system_(system), admin_(admin) {
+  net::Fabric& fabric = system_.fabric();
+  switch_node_ = fabric.AddNode(system_.config().name + "-mgmt-switch");
+  for (std::uint32_t c = 0; c < system_.controller_count(); ++c) {
+    // A dedicated management Ethernet port per blade.  It is a distinct
+    // fabric node: taking the blade's host-side presence down does not
+    // take the management port down, and vice versa.
+    const net::NodeId port = fabric.AddNode(
+        system_.config().name + "-mgmt" + std::to_string(c));
+    fabric.Connect(port, switch_node_, config.link);
+    ports_.push_back(port);
+  }
+}
+
+net::NodeId ManagementNetwork::AddStation(const std::string& name) {
+  const net::NodeId station = system_.fabric().AddNode(name);
+  system_.fabric().Connect(station, switch_node_, net::LinkProfile::GigE());
+  return station;
+}
+
+void ManagementNetwork::Request(net::NodeId station,
+                                const std::string& raw_request, Callback cb) {
+  // Route to the first live blade's management port.
+  std::uint32_t blade = ~0u;
+  for (std::uint32_t c = 0; c < system_.controller_count(); ++c) {
+    if (system_.cache().IsAlive(c)) {
+      blade = c;
+      break;
+    }
+  }
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  if (blade == ~0u) {
+    system_.engine().Schedule(0, [shared_cb] {
+      proto::HttpResponse r;
+      r.status = 503;
+      r.reason = "Service Unavailable";
+      (*shared_cb)(std::move(r));
+    });
+    return;
+  }
+  const net::NodeId port = ports_[blade];
+  system_.fabric().Send(
+      station, port, raw_request.size() + 64,
+      [this, station, port, raw_request, shared_cb] {
+        proto::HttpResponse resp = admin_.Handle(raw_request);
+        auto shared_resp =
+            std::make_shared<proto::HttpResponse>(std::move(resp));
+        system_.fabric().Send(
+            port, station,
+            shared_resp->body.size() + 128,
+            [shared_cb, shared_resp] { (*shared_cb)(std::move(*shared_resp)); },
+            [shared_cb] {
+              proto::HttpResponse r;
+              r.status = 503;
+              r.reason = "Service Unavailable";
+              (*shared_cb)(std::move(r));
+            });
+      },
+      [shared_cb] {
+        proto::HttpResponse r;
+        r.status = 503;
+        r.reason = "Service Unavailable";
+        (*shared_cb)(std::move(r));
+      });
+}
+
+}  // namespace nlss::mgmt

@@ -1,0 +1,85 @@
+// Block protocol export (paper §1/§8: SAN / iSCSI-style access "managed
+// from a common pool").  Hosts log in with credentials, see only the LUNs
+// masked to them, and issue block reads/writes that ride the host fabric
+// into the cache cluster.  Data digests use CRC32C, as iSCSI does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "controller/system.h"
+#include "security/audit.h"
+#include "security/auth.h"
+#include "security/control.h"
+#include "security/lun_mask.h"
+#include "util/crc32c.h"
+
+namespace nlss::proto {
+
+enum class BlockStatus : std::uint8_t {
+  kOk,
+  kAuthFailed,
+  kAccessDenied,
+  kInvalidSession,
+  kInvalidArgument,
+  kIoError,
+};
+
+const char* BlockStatusName(BlockStatus s);
+
+class BlockTarget {
+ public:
+  using SessionId = std::uint64_t;
+
+  BlockTarget(controller::StorageSystem& system, security::AuthService& auth,
+              security::LunMasking& masking, security::CommandPolicy& policy,
+              security::AuditLog& audit);
+
+  /// Authenticated login from a host node; returns a session handle.
+  std::optional<SessionId> Login(net::NodeId host,
+                                 const std::string& initiator,
+                                 const std::string& user,
+                                 const std::string& password);
+  void Logout(SessionId session);
+
+  /// REPORT LUNS: only volumes masked to this initiator.
+  std::vector<std::uint32_t> ReportLuns(SessionId session) const;
+
+  using ReadCallback =
+      std::function<void(BlockStatus, util::Bytes data, std::uint32_t crc)>;
+  using WriteCallback = std::function<void(BlockStatus)>;
+
+  void Read(SessionId session, std::uint32_t volume, std::uint64_t lba,
+            std::uint32_t blocks, ReadCallback cb);
+  void Write(SessionId session, std::uint32_t volume, std::uint64_t lba,
+             std::span<const std::uint8_t> data, WriteCallback cb);
+
+  /// In-band management command attempt (port = the session's initiator
+  /// port name); demonstrates the §5.2 lockdown.
+  BlockStatus TrySnapshot(SessionId session, std::uint32_t volume);
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    net::NodeId host;
+    std::string initiator;
+    std::string user;
+    std::string token;
+  };
+
+  const Session* Validate(SessionId id) const;
+
+  controller::StorageSystem& system_;
+  security::AuthService& auth_;
+  security::LunMasking& masking_;
+  security::CommandPolicy& policy_;
+  security::AuditLog& audit_;
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace nlss::proto

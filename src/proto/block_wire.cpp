@@ -1,0 +1,65 @@
+#include "proto/block_wire.h"
+
+#include "util/crc32c.h"
+
+namespace nlss::proto {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E4C5353;  // "NLSS"
+
+}  // namespace
+
+util::Bytes EncodePdu(const BlockPdu& pdu) {
+  util::ByteWriter w;
+  w.U32(kMagic);
+  w.U8(static_cast<std::uint8_t>(pdu.op));
+  w.U8(pdu.status);
+  w.U16(0);  // reserved
+  w.U64(pdu.session);
+  w.U32(pdu.lun);
+  w.U64(pdu.lba);
+  w.U32(pdu.blocks);
+  w.U32(pdu.task_tag);
+  w.U32(static_cast<std::uint32_t>(pdu.data.size()));
+  // Header digest over everything so far.
+  const std::uint32_t hdr_crc = util::Crc32c(w.data());
+  w.U32(hdr_crc);
+  if (!pdu.data.empty()) {
+    w.Raw(pdu.data);
+    w.U32(util::Crc32c(pdu.data));
+  }
+  return w.Take();
+}
+
+std::optional<BlockPdu> DecodePdu(std::span<const std::uint8_t> wire) {
+  try {
+    util::ByteReader r(wire);
+    BlockPdu pdu;
+    if (r.U32() != kMagic) return std::nullopt;
+    pdu.op = static_cast<WireOp>(r.U8());
+    pdu.status = r.U8();
+    (void)r.U16();
+    pdu.session = r.U64();
+    pdu.lun = r.U32();
+    pdu.lba = r.U64();
+    pdu.blocks = r.U32();
+    pdu.task_tag = r.U32();
+    const std::uint32_t data_len = r.U32();
+    const std::uint32_t hdr_crc = r.U32();
+    const std::size_t header_bytes = wire.size() - r.remaining() - 4;
+    if (util::Crc32c(wire.subspan(0, header_bytes)) != hdr_crc) {
+      return std::nullopt;
+    }
+    if (data_len > 0) {
+      pdu.data = r.Raw(data_len);
+      const std::uint32_t data_crc = r.U32();
+      if (util::Crc32c(pdu.data) != data_crc) return std::nullopt;
+    }
+    if (!r.Done()) return std::nullopt;  // trailing garbage
+    return pdu;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace nlss::proto

@@ -1,0 +1,47 @@
+// Wire encoding for the block protocol (iSCSI-flavoured, paper §1/§8):
+// fixed header with opcode, LUN, LBA, lengths and a CRC32C header digest,
+// followed by an optional data segment with its own CRC32C data digest —
+// the digests RFC 3720 specifies.  Used to carry block commands over IP
+// host links and tested against corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace nlss::proto {
+
+enum class WireOp : std::uint8_t {
+  kLoginRequest = 0x03,
+  kLoginResponse = 0x23,
+  kScsiRead = 0x01,
+  kScsiWrite = 0x05,
+  kScsiResponse = 0x21,
+  kReportLuns = 0x0A,
+  kLogoutRequest = 0x06,
+};
+
+struct BlockPdu {
+  WireOp op = WireOp::kScsiRead;
+  std::uint64_t session = 0;
+  std::uint32_t lun = 0;
+  std::uint64_t lba = 0;
+  std::uint32_t blocks = 0;     // transfer length for reads
+  std::uint32_t task_tag = 0;   // request/response matching
+  std::uint8_t status = 0;      // responses
+  util::Bytes data;             // write payload / read result / login fields
+
+  friend bool operator==(const BlockPdu&, const BlockPdu&) = default;
+};
+
+/// Serialize with header + data digests.
+util::Bytes EncodePdu(const BlockPdu& pdu);
+
+/// Parse and verify digests; nullopt on truncation or digest mismatch.
+std::optional<BlockPdu> DecodePdu(std::span<const std::uint8_t> wire);
+
+/// Size of the fixed header (including the header digest).
+inline constexpr std::size_t kPduHeaderBytes = 48;
+
+}  // namespace nlss::proto

@@ -1,0 +1,63 @@
+// HTTP export running directly on the controller blades (paper §8: "an
+// HTTP engine could run entirely on the controller blade").  GET serves
+// file content straight from the storage system — optionally striped over
+// several blades for large responses — with Range support for partial
+// content.  No user code executes on the controllers: only this fixed
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fs/filesystem.h"
+
+namespace nlss::proto {
+
+struct HttpRequest {
+  std::string method;                 // "GET" / "HEAD"
+  std::string path;
+  std::optional<std::uint64_t> range_begin;
+  std::optional<std::uint64_t> range_end;  // inclusive, per RFC
+};
+
+struct HttpResponse {
+  int status = 500;
+  std::string reason;
+  util::Bytes body;
+  std::uint64_t content_length = 0;
+  std::string headers;  // rendered header block
+};
+
+/// Parse the request line + headers of a textual HTTP/1.0 request.
+/// Returns nullopt on malformed input.
+std::optional<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+/// Render a response head ("HTTP/1.0 200 OK\r\n...").
+std::string RenderHttpHead(const HttpResponse& r);
+
+class HttpServer {
+ public:
+  explicit HttpServer(fs::FileSystem& fs) : fs_(fs) {}
+
+  using Callback = std::function<void(HttpResponse)>;
+
+  /// Serve a parsed request.
+  void Handle(const HttpRequest& request, Callback cb);
+
+  /// Serve a raw request string (parse + handle).
+  void HandleRaw(const std::string& raw, Callback cb);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t bytes_served() const { return bytes_; }
+
+ private:
+  void Respond(Callback& cb, HttpResponse r);
+
+  fs::FileSystem& fs_;
+  std::uint64_t served_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace nlss::proto

@@ -1,0 +1,107 @@
+#include "raid/layout.h"
+
+namespace nlss::raid {
+
+const char* RaidLevelName(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kRaid0: return "RAID-0";
+    case RaidLevel::kRaid1: return "RAID-1";
+    case RaidLevel::kRaid5: return "RAID-5";
+    case RaidLevel::kRaid6: return "RAID-6";
+  }
+  return "?";
+}
+
+Layout::Layout(RaidLevel level, std::uint32_t width, std::uint32_t unit_blocks)
+    : level_(level), width_(width), unit_blocks_(unit_blocks) {
+  assert(unit_blocks_ > 0);
+  switch (level_) {
+    case RaidLevel::kRaid0: assert(width_ >= 1); break;
+    case RaidLevel::kRaid1: assert(width_ >= 2); break;
+    case RaidLevel::kRaid5: assert(width_ >= 3); break;
+    case RaidLevel::kRaid6: assert(width_ >= 4); break;
+  }
+}
+
+std::uint32_t Layout::DataUnitsPerStripe() const {
+  switch (level_) {
+    case RaidLevel::kRaid0: return width_;
+    case RaidLevel::kRaid1: return 1;
+    case RaidLevel::kRaid5: return width_ - 1;
+    case RaidLevel::kRaid6: return width_ - 2;
+  }
+  return 0;
+}
+
+std::uint64_t Layout::DataCapacityBlocks(
+    std::uint64_t disk_capacity_blocks) const {
+  const std::uint64_t stripes = disk_capacity_blocks / unit_blocks_;
+  return stripes * DataBlocksPerStripe();
+}
+
+std::uint32_t Layout::PDisk(std::uint64_t stripe) const {
+  assert(level_ == RaidLevel::kRaid5 || level_ == RaidLevel::kRaid6);
+  if (level_ == RaidLevel::kRaid5) {
+    // Left-symmetric: parity rotates from the last disk backwards.
+    return width_ - 1 - static_cast<std::uint32_t>(stripe % width_);
+  }
+  // RAID-6: P sits immediately "before" Q in the rotation.
+  return (QDisk(stripe) + width_ - 1) % width_;
+}
+
+std::uint32_t Layout::QDisk(std::uint64_t stripe) const {
+  assert(level_ == RaidLevel::kRaid6);
+  return width_ - 1 - static_cast<std::uint32_t>(stripe % width_);
+}
+
+std::uint32_t Layout::DiskForData(std::uint64_t stripe,
+                                  std::uint32_t u) const {
+  assert(u < DataUnitsPerStripe());
+  switch (level_) {
+    case RaidLevel::kRaid0:
+      return u;
+    case RaidLevel::kRaid1:
+      return 0;  // canonical copy; group reads any live mirror
+    case RaidLevel::kRaid5:
+      return (PDisk(stripe) + 1 + u) % width_;
+    case RaidLevel::kRaid6:
+      return (QDisk(stripe) + 1 + u) % width_;
+  }
+  return 0;
+}
+
+UnitRole Layout::RoleOf(std::uint64_t stripe, std::uint32_t disk) const {
+  assert(disk < width_);
+  switch (level_) {
+    case RaidLevel::kRaid0:
+      return UnitRole{UnitRole::kData, disk};
+    case RaidLevel::kRaid1:
+      // Every mirror holds data unit 0.
+      return UnitRole{UnitRole::kData, 0};
+    case RaidLevel::kRaid5: {
+      const std::uint32_t p = PDisk(stripe);
+      if (disk == p) return UnitRole{UnitRole::kParityP, 0};
+      return UnitRole{UnitRole::kData, (disk + width_ - p - 1) % width_};
+    }
+    case RaidLevel::kRaid6: {
+      const std::uint32_t q = QDisk(stripe);
+      const std::uint32_t p = PDisk(stripe);
+      if (disk == q) return UnitRole{UnitRole::kParityQ, 0};
+      if (disk == p) return UnitRole{UnitRole::kParityP, 0};
+      return UnitRole{UnitRole::kData, (disk + width_ - q - 1) % width_};
+    }
+  }
+  return {};
+}
+
+Layout::Address Layout::Split(std::uint64_t data_block) const {
+  const std::uint32_t dbs = DataBlocksPerStripe();
+  Address a;
+  a.stripe = data_block / dbs;
+  const std::uint32_t r = static_cast<std::uint32_t>(data_block % dbs);
+  a.data_unit = r / unit_blocks_;
+  a.offset_blocks = r % unit_blocks_;
+  return a;
+}
+
+}  // namespace nlss::raid

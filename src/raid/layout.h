@@ -1,0 +1,82 @@
+// RAID geometry: how a group's linear data-block space maps onto member
+// disks, with rotating parity for RAID-5 (left-symmetric) and rotating P+Q
+// for RAID-6.  Pure address math — no I/O — so it is exhaustively testable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nlss::raid {
+
+enum class RaidLevel : std::uint8_t { kRaid0, kRaid1, kRaid5, kRaid6 };
+
+const char* RaidLevelName(RaidLevel level);
+
+/// How many disk failures the level tolerates.
+constexpr unsigned FaultTolerance(RaidLevel level, std::uint32_t width) {
+  switch (level) {
+    case RaidLevel::kRaid0: return 0;
+    case RaidLevel::kRaid1: return width - 1;
+    case RaidLevel::kRaid5: return 1;
+    case RaidLevel::kRaid6: return 2;
+  }
+  return 0;
+}
+
+/// Role of one disk's unit within a stripe.
+struct UnitRole {
+  enum Kind : std::uint8_t { kData, kParityP, kParityQ } kind = kData;
+  std::uint32_t data_index = 0;  // valid when kind == kData
+};
+
+class Layout {
+ public:
+  /// width = member disks; unit_blocks = stripe-unit size in disk blocks.
+  Layout(RaidLevel level, std::uint32_t width, std::uint32_t unit_blocks);
+
+  RaidLevel level() const { return level_; }
+  std::uint32_t width() const { return width_; }
+  std::uint32_t unit_blocks() const { return unit_blocks_; }
+
+  /// Number of data units per stripe (RAID-1 counts as one).
+  std::uint32_t DataUnitsPerStripe() const;
+
+  /// Number of data blocks per stripe.
+  std::uint32_t DataBlocksPerStripe() const {
+    return DataUnitsPerStripe() * unit_blocks_;
+  }
+
+  /// Total data blocks given per-disk capacity in blocks.
+  std::uint64_t DataCapacityBlocks(std::uint64_t disk_capacity_blocks) const;
+
+  /// Which disk holds data unit `u` of stripe `s`.
+  std::uint32_t DiskForData(std::uint64_t stripe, std::uint32_t u) const;
+
+  /// Which disk holds P / Q for stripe `s` (RAID-5/6 only).
+  std::uint32_t PDisk(std::uint64_t stripe) const;
+  std::uint32_t QDisk(std::uint64_t stripe) const;  // RAID-6 only
+
+  /// Role of `disk`'s unit within stripe `s`.
+  UnitRole RoleOf(std::uint64_t stripe, std::uint32_t disk) const;
+
+  /// Split a linear data-block address into (stripe, data_unit, offset).
+  struct Address {
+    std::uint64_t stripe;
+    std::uint32_t data_unit;
+    std::uint32_t offset_blocks;  // within the unit
+  };
+  Address Split(std::uint64_t data_block) const;
+
+  /// Disk LBA of the start of stripe `s` (same on every member disk).
+  std::uint64_t StripeLba(std::uint64_t stripe) const {
+    return stripe * unit_blocks_;
+  }
+
+ private:
+  RaidLevel level_;
+  std::uint32_t width_;
+  std::uint32_t unit_blocks_;
+};
+
+}  // namespace nlss::raid

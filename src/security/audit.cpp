@@ -1,0 +1,41 @@
+#include "security/audit.h"
+
+namespace nlss::security {
+
+crypto::Digest256 AuditLog::ChainHash(const crypto::Digest256& prev,
+                                      const Entry& e) const {
+  crypto::Sha256 h;
+  h.Update(prev);
+  h.Update(std::to_string(e.when));
+  h.Update("|");
+  h.Update(e.actor);
+  h.Update("|");
+  h.Update(e.action);
+  h.Update("|");
+  h.Update(e.detail);
+  return h.Finish();
+}
+
+void AuditLog::Record(const std::string& actor, const std::string& action,
+                      const std::string& detail) {
+  Entry e;
+  e.when = engine_.now();
+  e.actor = actor;
+  e.action = action;
+  e.detail = detail;
+  const crypto::Digest256 prev =
+      entries_.empty() ? crypto::Digest256{} : entries_.back().chain;
+  e.chain = ChainHash(prev, e);
+  entries_.push_back(std::move(e));
+}
+
+bool AuditLog::VerifyChain() const {
+  crypto::Digest256 prev{};
+  for (const Entry& e : entries_) {
+    if (ChainHash(prev, e) != e.chain) return false;
+    prev = e.chain;
+  }
+  return true;
+}
+
+}  // namespace nlss::security

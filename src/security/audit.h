@@ -1,0 +1,44 @@
+// Tamper-evident audit log: every security-relevant event (login, masking
+// change, volume create/delete, failover) is appended with a hash chained
+// over the previous entry, so any mutation of history is detectable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "sim/engine.h"
+
+namespace nlss::security {
+
+class AuditLog {
+ public:
+  explicit AuditLog(sim::Engine& engine) : engine_(engine) {}
+
+  struct Entry {
+    sim::Tick when;
+    std::string actor;
+    std::string action;
+    std::string detail;
+    crypto::Digest256 chain;  // SHA-256(prev.chain || fields)
+  };
+
+  void Record(const std::string& actor, const std::string& action,
+              const std::string& detail);
+
+  /// Re-walk the chain; false if any entry was altered.
+  bool VerifyChain() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  crypto::Digest256 ChainHash(const crypto::Digest256& prev,
+                              const Entry& e) const;
+
+  sim::Engine& engine_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nlss::security

@@ -1,0 +1,92 @@
+#include "security/auth.h"
+
+#include <charconv>
+
+namespace nlss::security {
+
+AuthService::AuthService(sim::Engine& engine, const crypto::KeyStore& keys)
+    : engine_(engine), token_key_(keys.DeriveTransportKey("auth", "tokens")) {}
+
+crypto::Digest256 AuthService::HashSecret(const std::string& name,
+                                          const std::string& passphrase) const {
+  crypto::Sha256 h;
+  h.Update("nlss-user-secret/");
+  h.Update(name);
+  h.Update("/");
+  h.Update(passphrase);
+  return h.Finish();
+}
+
+void AuthService::AddUser(const std::string& name,
+                          const std::string& passphrase,
+                          std::set<std::string> roles) {
+  User u;
+  u.secret = HashSecret(name, passphrase);
+  u.roles = std::move(roles);
+  users_[name] = std::move(u);
+}
+
+void AuthService::RemoveUser(const std::string& name) { users_.erase(name); }
+
+std::string AuthService::Sign(const std::string& payload) const {
+  const crypto::Digest256 mac = crypto::HmacSha256(
+      std::span<const std::uint8_t>(token_key_),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(payload.data()),
+          payload.size()));
+  return crypto::ToHex(mac);
+}
+
+std::optional<std::string> AuthService::Login(const std::string& name,
+                                              const std::string& passphrase,
+                                              sim::Tick ttl_ns) {
+  auto it = users_.find(name);
+  if (it == users_.end()) return std::nullopt;
+  if (it->second.secret != HashSecret(name, passphrase)) return std::nullopt;
+  const sim::Tick expiry = engine_.now() + ttl_ns;
+  const std::string payload = name + ":" + std::to_string(expiry) + ":" +
+                              std::to_string(it->second.session_epoch);
+  return payload + ":" + Sign(payload);
+}
+
+std::optional<std::string> AuthService::Verify(const std::string& token) const {
+  // token = name:expiry:epoch:mac
+  const std::size_t mac_pos = token.rfind(':');
+  if (mac_pos == std::string::npos) return std::nullopt;
+  const std::string payload = token.substr(0, mac_pos);
+  const std::string mac = token.substr(mac_pos + 1);
+  if (Sign(payload) != mac) return std::nullopt;
+
+  const std::size_t p1 = payload.find(':');
+  const std::size_t p2 = payload.rfind(':');
+  if (p1 == std::string::npos || p2 == p1) return std::nullopt;
+  const std::string name = payload.substr(0, p1);
+
+  std::uint64_t expiry = 0;
+  const auto expiry_str = payload.substr(p1 + 1, p2 - p1 - 1);
+  std::from_chars(expiry_str.data(), expiry_str.data() + expiry_str.size(),
+                  expiry);
+  if (engine_.now() > expiry) return std::nullopt;
+
+  std::uint32_t epoch = 0;
+  const auto epoch_str = payload.substr(p2 + 1);
+  std::from_chars(epoch_str.data(), epoch_str.data() + epoch_str.size(),
+                  epoch);
+  auto it = users_.find(name);
+  if (it == users_.end()) return std::nullopt;
+  if (it->second.session_epoch != epoch) return std::nullopt;
+  return name;
+}
+
+bool AuthService::HasRole(const std::string& user,
+                          const std::string& role) const {
+  auto it = users_.find(user);
+  return it != users_.end() && it->second.roles.count(role) > 0;
+}
+
+void AuthService::RevokeSessions(const std::string& name) {
+  auto it = users_.find(name);
+  if (it != users_.end()) ++it->second.session_epoch;
+}
+
+}  // namespace nlss::security

@@ -1,0 +1,58 @@
+// Authentication and policy (paper §5: "ensuring proper user authentication
+// and policy application before allowing access to data or control paths").
+//
+// Users authenticate with a passphrase; the service issues HMAC-signed,
+// expiring tokens bound to the user's roles.  Secrets are stored only as
+// salted SHA-256 digests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+#include "sim/engine.h"
+
+namespace nlss::security {
+
+class AuthService {
+ public:
+  AuthService(sim::Engine& engine, const crypto::KeyStore& keys);
+
+  void AddUser(const std::string& name, const std::string& passphrase,
+               std::set<std::string> roles);
+  void RemoveUser(const std::string& name);
+
+  /// Returns a signed token valid for `ttl_ns`, or nullopt on bad login.
+  std::optional<std::string> Login(const std::string& name,
+                                   const std::string& passphrase,
+                                   sim::Tick ttl_ns = 3600ull * 1000000000);
+
+  /// Validates signature and expiry; returns the user name if valid.
+  std::optional<std::string> Verify(const std::string& token) const;
+
+  bool HasRole(const std::string& user, const std::string& role) const;
+
+  /// Invalidate all outstanding tokens for a user.
+  void RevokeSessions(const std::string& name);
+
+ private:
+  struct User {
+    crypto::Digest256 secret;
+    std::set<std::string> roles;
+    std::uint32_t session_epoch = 0;  // bumping invalidates old tokens
+  };
+
+  crypto::Digest256 HashSecret(const std::string& name,
+                               const std::string& passphrase) const;
+  std::string Sign(const std::string& payload) const;
+
+  sim::Engine& engine_;
+  std::array<std::uint8_t, 32> token_key_;
+  std::map<std::string, User> users_;
+};
+
+}  // namespace nlss::security

@@ -1,0 +1,86 @@
+#include "security/channel.h"
+
+#include <cstring>
+
+namespace nlss::security {
+namespace {
+
+void PutSeq(std::uint8_t out[8], std::uint64_t seq) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+}
+
+std::uint64_t GetSeq(const std::uint8_t in[8]) {
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return seq;
+}
+
+void MakeIv(std::uint8_t iv[16], std::uint64_t seq) {
+  std::memset(iv, 0, 16);
+  // Sequence in the high half; the low 64 bits are the CTR counter.
+  for (int i = 0; i < 8; ++i) {
+    iv[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(std::span<const std::uint8_t, 32> key)
+    : aes_(key) {
+  // Derive an independent MAC key so AES and HMAC never share key material.
+  crypto::Sha256 h;
+  h.Update("nlss-channel-mac/");
+  h.Update(key);
+  const crypto::Digest256 d = h.Finish();
+  std::memcpy(mac_key_.data(), d.data(), d.size());
+}
+
+util::Bytes SecureChannel::Seal(std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  util::Bytes frame(kOverhead + plaintext.size());
+  PutSeq(frame.data(), seq);
+  std::memcpy(frame.data() + 8, plaintext.data(), plaintext.size());
+  std::uint8_t iv[16];
+  MakeIv(iv, seq);
+  crypto::CtrCrypt(aes_, iv,
+                   std::span<std::uint8_t>(frame.data() + 8, plaintext.size()));
+  const crypto::Digest256 mac = crypto::HmacSha256(
+      std::span<const std::uint8_t>(mac_key_),
+      std::span<const std::uint8_t>(frame.data(), 8 + plaintext.size()));
+  std::memcpy(frame.data() + 8 + plaintext.size(), mac.data(), mac.size());
+  return frame;
+}
+
+std::optional<util::Bytes> SecureChannel::Open(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kOverhead) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const std::size_t body = frame.size() - kOverhead;
+  const crypto::Digest256 expect = crypto::HmacSha256(
+      std::span<const std::uint8_t>(mac_key_),
+      std::span<const std::uint8_t>(frame.data(), 8 + body));
+  if (std::memcmp(expect.data(), frame.data() + 8 + body, 32) != 0) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const std::uint64_t seq = GetSeq(frame.data());
+  if (seq < recv_seq_) {  // replay or reorder
+    ++rejected_;
+    return std::nullopt;
+  }
+  recv_seq_ = seq + 1;
+  util::Bytes plaintext(frame.begin() + 8,
+                        frame.begin() + 8 + static_cast<std::ptrdiff_t>(body));
+  std::uint8_t iv[16];
+  MakeIv(iv, seq);
+  crypto::CtrCrypt(aes_, iv, plaintext);
+  return plaintext;
+}
+
+}  // namespace nlss::security

@@ -1,0 +1,48 @@
+// Secure transport channel (paper §5.1): AES-CTR encryption plus
+// HMAC-SHA-256 authentication of message payloads for delivery over
+// non-secure media (host links, inter-site WANs).  Real cryptography on
+// real bytes; the simulated wire cost is charged separately by the caller.
+//
+// Frame layout: [8-byte seq][ciphertext][32-byte HMAC over seq||ciphertext].
+// The sequence number feeds the CTR IV, so reusing a channel never reuses
+// keystream, and replayed or reordered frames fail authentication.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace nlss::security {
+
+class SecureChannel {
+ public:
+  /// Both endpoints construct with the same 32-byte key (from the
+  /// KeyStore's DeriveTransportKey).
+  explicit SecureChannel(std::span<const std::uint8_t, 32> key);
+
+  /// Encrypt + authenticate.  Consumes the next send sequence number.
+  util::Bytes Seal(std::span<const std::uint8_t> plaintext);
+
+  /// Verify + decrypt.  Enforces strictly increasing sequence numbers
+  /// (anti-replay).  nullopt on any failure.
+  std::optional<util::Bytes> Open(std::span<const std::uint8_t> frame);
+
+  std::uint64_t sent() const { return send_seq_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Frame overhead in bytes (for wire-cost accounting).
+  static constexpr std::size_t kOverhead = 8 + 32;
+
+ private:
+  crypto::Aes aes_;
+  std::array<std::uint8_t, 32> mac_key_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;  // highest accepted + 1
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace nlss::security

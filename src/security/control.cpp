@@ -1,0 +1,48 @@
+#include "security/control.h"
+
+namespace nlss::security {
+
+const char* CommandName(Command c) {
+  switch (c) {
+    case Command::kReadData: return "read-data";
+    case Command::kWriteData: return "write-data";
+    case Command::kCreateVolume: return "create-volume";
+    case Command::kDeleteVolume: return "delete-volume";
+    case Command::kResizeVolume: return "resize-volume";
+    case Command::kSnapshot: return "snapshot";
+    case Command::kChangeMasking: return "change-masking";
+    case Command::kChangePolicy: return "change-policy";
+    case Command::kFailover: return "failover";
+    case Command::kFirmwareUpgrade: return "firmware-upgrade";
+  }
+  return "?";
+}
+
+CommandPolicy::CommandPolicy() {
+  inband_default_allowed_ = {Command::kReadData, Command::kWriteData,
+                             Command::kSnapshot};
+}
+
+void CommandPolicy::DisableInBand(const std::string& port, Command c) {
+  port_overrides_[port][c] = false;
+}
+
+void CommandPolicy::EnableInBand(const std::string& port, Command c) {
+  port_overrides_[port][c] = true;
+}
+
+bool CommandPolicy::AllowedInBand(const std::string& port, Command c) const {
+  auto pit = port_overrides_.find(port);
+  if (pit != port_overrides_.end()) {
+    auto cit = pit->second.find(c);
+    if (cit != pit->second.end()) return cit->second;
+  }
+  return inband_default_allowed_.count(c) > 0;
+}
+
+bool CommandPolicy::AllowedOutOfBand(Command c, bool is_admin) const {
+  (void)c;
+  return is_admin;
+}
+
+}  // namespace nlss::security

@@ -1,0 +1,53 @@
+// Architectural security controls (paper §5.2):
+//   * In-band control commands can be selectively disabled per port and per
+//     command — a compromised host fabric cannot reconfigure the array.
+//   * Out-of-band management rides a separate secure network; management
+//     commands require an authenticated admin role.
+//   * Controllers execute no user code; this layer only gates *which*
+//     predefined commands each path may invoke.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace nlss::security {
+
+enum class Command : std::uint8_t {
+  kReadData,
+  kWriteData,
+  kCreateVolume,
+  kDeleteVolume,
+  kResizeVolume,
+  kSnapshot,
+  kChangeMasking,
+  kChangePolicy,
+  kFailover,
+  kFirmwareUpgrade,
+};
+
+const char* CommandName(Command c);
+
+class CommandPolicy {
+ public:
+  /// In-band defaults: data path allowed, management commands denied.
+  CommandPolicy();
+
+  /// Per-port overrides ("on a command-by-command, port-by-port basis").
+  void DisableInBand(const std::string& port, Command c);
+  void EnableInBand(const std::string& port, Command c);
+
+  bool AllowedInBand(const std::string& port, Command c) const;
+
+  /// Out-of-band commands are always permitted for admin-role callers —
+  /// the caller supplies the role check result from AuthService.
+  bool AllowedOutOfBand(Command c, bool is_admin) const;
+
+ private:
+  std::set<Command> inband_default_allowed_;
+  // Port-specific overrides: present -> explicit allow/deny.
+  std::map<std::string, std::map<Command, bool>> port_overrides_;
+};
+
+}  // namespace nlss::security

@@ -1,0 +1,69 @@
+#include "security/encrypted_backing.h"
+
+namespace nlss::security {
+
+EncryptedBacking::EncryptedBacking(sim::Engine& engine,
+                                   cache::BackingStore& inner,
+                                   const crypto::VolumeKeys& keys,
+                                   Config config)
+    : engine_(engine),
+      inner_(inner),
+      data_key_(keys.data_key),
+      tweak_key_(keys.tweak_key),
+      config_(config) {}
+
+void EncryptedBacking::Charge(std::uint64_t bytes, std::function<void()> next) {
+  if (config_.engine_resource == nullptr) {
+    next();
+    return;
+  }
+  const sim::Tick done = config_.engine_resource->AcquireBytes(
+      bytes, config_.crypt_ns_per_byte);
+  engine_.ScheduleAt(done, std::move(next));
+}
+
+void EncryptedBacking::ReadBlocks(std::uint64_t block, std::uint32_t count,
+                                  ReadCallback cb) {
+  inner_.ReadBlocks(
+      block, count,
+      [this, block, cb = std::move(cb)](bool ok, util::Bytes data) mutable {
+        if (!ok) {
+          cb(false, {});
+          return;
+        }
+        const std::uint32_t bs = block_size();
+        for (std::uint32_t i = 0; i * bs < data.size(); ++i) {
+          crypto::XtsDecrypt(data_key_, tweak_key_, block + i,
+                             std::span<std::uint8_t>(data.data() +
+                                                         static_cast<std::size_t>(i) * bs,
+                                                     bs));
+        }
+        bytes_decrypted_ += data.size();
+        const std::uint64_t n = data.size();
+        auto shared = std::make_shared<util::Bytes>(std::move(data));
+        Charge(n, [shared, cb = std::move(cb)]() mutable {
+          cb(true, std::move(*shared));
+        });
+      });
+}
+
+void EncryptedBacking::WriteBlocks(std::uint64_t block,
+                                   std::span<const std::uint8_t> data,
+                                   WriteCallback cb) {
+  util::Bytes ciphertext(data.begin(), data.end());
+  const std::uint32_t bs = block_size();
+  for (std::uint32_t i = 0; i * bs < ciphertext.size(); ++i) {
+    crypto::XtsEncrypt(data_key_, tweak_key_, block + i,
+                       std::span<std::uint8_t>(
+                           ciphertext.data() + static_cast<std::size_t>(i) * bs,
+                           bs));
+  }
+  bytes_encrypted_ += ciphertext.size();
+  auto shared = std::make_shared<util::Bytes>(std::move(ciphertext));
+  Charge(shared->size(), [this, block, shared, cb = std::move(cb)]() mutable {
+    inner_.WriteBlocks(block, *shared,
+                       [shared, cb = std::move(cb)](bool ok) { cb(ok); });
+  });
+}
+
+}  // namespace nlss::security

@@ -1,0 +1,36 @@
+#include "security/lun_mask.h"
+
+namespace nlss::security {
+
+void LunMasking::Allow(const std::string& initiator, std::uint32_t volume) {
+  grants_[initiator].insert(volume);
+}
+
+void LunMasking::Revoke(const std::string& initiator, std::uint32_t volume) {
+  auto it = grants_.find(initiator);
+  if (it == grants_.end()) return;
+  it->second.erase(volume);
+  if (it->second.empty()) grants_.erase(it);
+}
+
+void LunMasking::RevokeAll(const std::string& initiator) {
+  grants_.erase(initiator);
+}
+
+bool LunMasking::Visible(const std::string& initiator,
+                         std::uint32_t volume) const {
+  auto it = grants_.find(initiator);
+  if (it == grants_.end()) return !default_deny_;
+  return it->second.count(volume) > 0;
+}
+
+std::vector<std::uint32_t> LunMasking::VisibleTo(
+    const std::string& initiator) const {
+  std::vector<std::uint32_t> out;
+  auto it = grants_.find(initiator);
+  if (it == grants_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+}  // namespace nlss::security

@@ -1,0 +1,33 @@
+// LUN masking (paper §5): each initiator (host/server) privately owns a
+// subset of the pool's volumes; everything else is concealed.  The block
+// and file protocol servers consult this before touching a volume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nlss::security {
+
+class LunMasking {
+ public:
+  void Allow(const std::string& initiator, std::uint32_t volume);
+  void Revoke(const std::string& initiator, std::uint32_t volume);
+  void RevokeAll(const std::string& initiator);
+
+  bool Visible(const std::string& initiator, std::uint32_t volume) const;
+  std::vector<std::uint32_t> VisibleTo(const std::string& initiator) const;
+
+  /// Default-deny switch: when false, unlisted initiators see everything
+  /// (legacy open mode).  Defaults to true (deny).
+  void set_default_deny(bool deny) { default_deny_ = deny; }
+  bool default_deny() const { return default_deny_; }
+
+ private:
+  std::map<std::string, std::set<std::uint32_t>> grants_;
+  bool default_deny_ = true;
+};
+
+}  // namespace nlss::security

@@ -1,0 +1,54 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nlss::sim {
+
+void Engine::ScheduleAt(Tick when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Item{when, next_seq_++, std::move(cb)});
+}
+
+void Engine::Execute(Item& item) {
+  now_ = item.when;
+  ++executed_;
+  item.cb();
+}
+
+void Engine::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; the callback is moved out via
+    // const_cast, which is safe because pop() immediately follows.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    Execute(item);
+  }
+}
+
+std::size_t Engine::RunUntil(Tick t) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= t) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    Execute(item);
+    ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Engine::Step(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    Execute(item);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace nlss::sim

@@ -1,0 +1,73 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Everything timed in the storage system — link transfers, disk mechanics,
+// controller compute, WAN latency — runs as events on one Engine.  Events at
+// the same tick execute in scheduling order (FIFO), which makes every run
+// bit-reproducible from the workload seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nlss::sim {
+
+/// Simulated time in nanoseconds.
+using Tick = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Tick now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` ns from now.
+  void Schedule(Tick delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  /// Schedule `cb` at an absolute tick (must be >= now).
+  void ScheduleAt(Tick when, Callback cb);
+
+  /// Run until the event queue drains (or Stop() is called).
+  void Run();
+
+  /// Run events with timestamp <= t, then set now to t.
+  /// Returns the number of events executed.
+  std::size_t RunUntil(Tick t);
+
+  /// Convenience: RunUntil(now + d).
+  std::size_t RunFor(Tick d) { return RunUntil(now_ + d); }
+
+  /// Execute at most `max_events` events; returns how many ran.
+  std::size_t Step(std::size_t max_events = 1);
+
+  /// Ask Run()/RunUntil() to return after the current event.
+  void Stop() { stopped_ = true; }
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Item {
+    Tick when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-tick events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Execute(Item& item);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace nlss::sim

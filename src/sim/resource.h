@@ -1,0 +1,55 @@
+// A FIFO-served resource with a service-time horizon: models controller CPU,
+// XOR/encryption engines, and any other serially-shared capacity.  Callers
+// ask "when would work of this size finish if enqueued now?" and schedule
+// their completion events at the returned tick.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/engine.h"
+
+namespace nlss::sim {
+
+class Resource {
+ public:
+  explicit Resource(Engine& engine) : engine_(engine) {}
+
+  /// Enqueue `service_ns` of work; returns the simulated completion tick.
+  Tick Acquire(Tick service_ns) {
+    const Tick start = std::max(engine_.now(), busy_until_);
+    busy_until_ = start + service_ns;
+    busy_total_ += service_ns;
+    return busy_until_;
+  }
+
+  /// Convenience: work proportional to bytes at a ns-per-byte rate.
+  Tick AcquireBytes(std::uint64_t bytes, double ns_per_byte) {
+    return Acquire(static_cast<Tick>(
+        std::llround(static_cast<double>(bytes) * ns_per_byte)));
+  }
+
+  /// Fraction of [0, now] this resource spent busy.
+  double Utilization() const {
+    const Tick now = engine_.now();
+    return now == 0 ? 0.0
+                    : static_cast<double>(std::min(busy_total_, now)) /
+                          static_cast<double>(now);
+  }
+
+  Tick busy_total() const { return busy_total_; }
+  Tick busy_until() const { return busy_until_; }
+
+  /// Drop queued work (used when a component fails).
+  void Reset() {
+    busy_until_ = engine_.now();
+  }
+
+ private:
+  Engine& engine_;
+  Tick busy_until_ = 0;
+  Tick busy_total_ = 0;
+};
+
+}  // namespace nlss::sim

@@ -1,0 +1,98 @@
+#include "util/bytes.h"
+
+namespace nlss::util {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void FillPattern(std::span<std::uint8_t> out, std::uint64_t seed) {
+  std::uint64_t state = Mix(seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    state = Mix(state + 1);
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<std::uint8_t>(state >> (b * 8));
+    }
+  }
+  state = Mix(state + 1);
+  for (int b = 0; i < out.size(); ++b) {
+    out[i++] = static_cast<std::uint8_t>(state >> (b * 8));
+  }
+}
+
+bool CheckPattern(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  Bytes expected(data.size());
+  FillPattern(expected, seed);
+  return std::equal(data.begin(), data.end(), expected.begin());
+}
+
+void ByteWriter::U16(std::uint16_t v) {
+  U8(static_cast<std::uint8_t>(v));
+  U8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32(std::uint32_t v) {
+  U16(static_cast<std::uint16_t>(v));
+  U16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v));
+  U32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::Raw(std::span<const std::uint8_t> d) {
+  buf_.insert(buf_.end(), d.begin(), d.end());
+}
+
+std::uint8_t ByteReader::U8() {
+  Need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::U16() {
+  const std::uint16_t lo = U8();
+  return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(U8()) << 8));
+}
+
+std::uint32_t ByteReader::U32() {
+  const std::uint32_t lo = U16();
+  return lo | (static_cast<std::uint32_t>(U16()) << 16);
+}
+
+std::uint64_t ByteReader::U64() {
+  const std::uint64_t lo = U32();
+  return lo | (static_cast<std::uint64_t>(U32()) << 32);
+}
+
+std::string ByteReader::Str() {
+  const std::uint32_t n = U32();
+  Need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::Raw(std::size_t n) {
+  Need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace nlss::util

@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli polynomial, as used by iSCSI) — software slice-by-8.
+// Used for end-to-end data integrity checks on block payloads and for the
+// iSCSI-style protocol export's data digests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nlss::util {
+
+/// Incrementally extend a CRC32C over `data`.  Start with crc = 0.
+std::uint32_t Crc32c(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+/// One-shot CRC32C of a buffer.
+inline std::uint32_t Crc32c(std::span<const std::uint8_t> data) {
+  return Crc32c(0, data);
+}
+
+}  // namespace nlss::util

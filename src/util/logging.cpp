@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace nlss::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void Log(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[%s] %-10s %s\n", LevelName(level), component, msg);
+}
+
+}  // namespace nlss::util

@@ -1,0 +1,30 @@
+// Minimal leveled logger.  Simulation components log with the simulated
+// timestamp attached by the caller; the default sink is stderr.  Logging is
+// off by default so benchmarks stay quiet.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace nlss::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level (default: kOff).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style log.  `component` tags the subsystem ("cache", "raid", ...).
+void Log(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define NLSS_LOG_DEBUG(component, ...) \
+  ::nlss::util::Log(::nlss::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define NLSS_LOG_INFO(component, ...) \
+  ::nlss::util::Log(::nlss::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define NLSS_LOG_WARN(component, ...) \
+  ::nlss::util::Log(::nlss::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define NLSS_LOG_ERROR(component, ...) \
+  ::nlss::util::Log(::nlss::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace nlss::util

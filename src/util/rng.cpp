@@ -1,0 +1,92 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <algorithm>
+#include <cassert>
+
+namespace nlss::util {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(s);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation (biased variant is fine
+  // for simulation workloads; the bias is < 2^-64 * bound).
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+std::uint64_t Rng::Range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + Below(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace nlss::util

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// The whole system must be reproducible from a single seed, so every
+// stochastic component takes an explicit Rng (or a seed) instead of touching
+// global state.  The generator is xoshiro256++ (Blackman & Vigna), which is
+// fast, high quality, and trivially seedable via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nlss::util {
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Fork an independent child stream (for per-component determinism).
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Zipf-distributed generator over [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^theta.  theta = 0 is uniform; ~0.99 matches the
+/// classic "hot data" skew the paper's Section 2 describes.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  // Cumulative distribution, used with binary search.  Kept exact (O(n)
+  // setup) because simulated working sets are modest.
+  std::vector<double> cdf_;
+};
+
+}  // namespace nlss::util

@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace nlss::util {
+
+Histogram::Histogram(int sub_bucket_bits) : bits_(sub_bucket_bits) {
+  assert(bits_ >= 0 && bits_ <= 8);
+  // 64 powers of two, each with 2^bits sub-buckets, plus a zero bucket.
+  buckets_.assign(static_cast<std::size_t>(64) << bits_, 0);
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) const {
+  if (value < (1ULL << bits_)) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - bits_;
+  const std::uint64_t sub = (value >> shift) & ((1ULL << bits_) - 1);
+  return (static_cast<std::size_t>(msb - bits_ + 1) << bits_) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t index) const {
+  if (index < (1ULL << bits_)) return index;
+  const std::size_t exp = (index >> bits_) - 1;
+  const std::uint64_t sub = index & ((1ULL << bits_) - 1);
+  const int shift = static_cast<int>(exp);
+  return ((1ULL << bits_) + sub + 1) << shift;
+}
+
+void Histogram::Record(std::uint64_t value) { Record(value, 1); }
+
+void Histogram::Record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  std::size_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx] += count;
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min<std::uint64_t>(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%s p50=%llu%s p99=%llu%s max=%llu%s",
+                static_cast<unsigned long long>(count_), Mean(), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(0.5)), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(0.99)), unit.c_str(),
+                static_cast<unsigned long long>(max()), unit.c_str());
+  return buf;
+}
+
+void RunningStat::Record(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::Variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+Imbalance ComputeImbalance(const std::vector<double>& loads) {
+  Imbalance r;
+  if (loads.empty()) return r;
+  RunningStat s;
+  for (double v : loads) s.Record(v);
+  r.mean = s.Mean();
+  r.max = s.max();
+  r.peak_to_mean = r.mean > 0.0 ? r.max / r.mean : 0.0;
+  r.coeff_of_variation = r.mean > 0.0 ? s.StdDev() / r.mean : 0.0;
+  return r;
+}
+
+}  // namespace nlss::util

@@ -1,0 +1,83 @@
+// Lightweight statistics collection: latency histograms with percentile
+// queries, running means, and imbalance metrics used by the experiments.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nlss::util {
+
+/// Log-bucketed histogram for non-negative values (latencies in ns, sizes in
+/// bytes).  Buckets are <mantissa bits> sub-buckets per power of two, giving
+/// bounded relative error (~3% with 5 bits) at tiny memory cost.
+class Histogram {
+ public:
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void Record(std::uint64_t value);
+  void Record(std::uint64_t value, std::uint64_t count);
+
+  /// Merge another histogram into this one.
+  void Merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0,1] (e.g. 0.5, 0.99).  Returns an upper bound
+  /// of the containing bucket.
+  std::uint64_t Percentile(double q) const;
+
+  void Reset();
+
+  /// Human-readable one-line summary: count/mean/p50/p99/max.
+  std::string Summary(const std::string& unit = "ns") const;
+
+ private:
+  std::size_t BucketIndex(std::uint64_t value) const;
+  std::uint64_t BucketUpperBound(std::size_t index) const;
+
+  int bits_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Incremental mean/variance (Welford).
+class RunningStat {
+ public:
+  void Record(double x);
+  std::uint64_t count() const { return n_; }
+  double Mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double Sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// Load-imbalance metrics over a vector of per-server loads.  Used by the
+/// hot-spot experiments (E3): a "hot spot" shows up as max/mean >> 1.
+struct Imbalance {
+  double mean = 0.0;
+  double max = 0.0;
+  double peak_to_mean = 0.0;        // max / mean; 1.0 == perfectly balanced
+  double coeff_of_variation = 0.0;  // stddev / mean
+};
+
+Imbalance ComputeImbalance(const std::vector<double>& loads);
+
+}  // namespace nlss::util

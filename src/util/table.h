@@ -1,0 +1,37 @@
+// ASCII table printer used by the benchmark harness to emit the
+// paper-style result rows (EXPERIMENTS.md records these outputs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace nlss::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; cells are printed as-is.  Convenience Cell() formats numbers.
+  void AddRow(std::vector<std::string> cells);
+
+  static std::string Cell(double v, int precision = 2);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string Cell(T v) {
+    return std::to_string(v);
+  }
+
+  /// Render with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Print to stdout with an optional caption line.
+  void Print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nlss::util

@@ -1,0 +1,48 @@
+// Common unit constants and conversions used across the storage stack.
+//
+// Simulated time throughout the system is measured in integer nanoseconds
+// (see sim::Tick).  Link speeds are expressed in the marketing units the
+// paper uses (Gb/s) and converted here to bytes-per-nanosecond for the
+// simulation's bandwidth math.
+#pragma once
+
+#include <cstdint>
+
+namespace nlss::util {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+inline constexpr std::uint64_t kNsPerUs = 1000ULL;
+inline constexpr std::uint64_t kNsPerMs = 1000ULL * kNsPerUs;
+inline constexpr std::uint64_t kNsPerSec = 1000ULL * kNsPerMs;
+
+/// Convert a link speed in gigabits/second to bytes/nanosecond.
+/// 1 Gb/s = 1e9 bits/s = 0.125e9 bytes/s = 0.125 bytes/ns.
+constexpr double GbpsToBytesPerNs(double gbps) { return gbps * 0.125; }
+
+/// Convert bytes moved over a nanosecond interval to gigabits/second.
+constexpr double BytesPerNsToGbps(double bytes_per_ns) {
+  return bytes_per_ns * 8.0;
+}
+
+/// Convert megabytes/second (disk media rates) to bytes/nanosecond.
+constexpr double MBpsToBytesPerNs(double mbps) { return mbps * 1e6 / 1e9; }
+
+/// Throughput in MB/s given bytes moved and elapsed nanoseconds.
+constexpr double ThroughputMBps(std::uint64_t bytes, std::uint64_t elapsed_ns) {
+  return elapsed_ns == 0 ? 0.0
+                         : static_cast<double>(bytes) / 1e6 /
+                               (static_cast<double>(elapsed_ns) / 1e9);
+}
+
+/// Throughput in Gb/s given bytes moved and elapsed nanoseconds.
+constexpr double ThroughputGbps(std::uint64_t bytes, std::uint64_t elapsed_ns) {
+  return elapsed_ns == 0 ? 0.0
+                         : BytesPerNsToGbps(static_cast<double>(bytes) /
+                                            static_cast<double>(elapsed_ns));
+}
+
+}  // namespace nlss::util

@@ -1,0 +1,43 @@
+#include "virt/chargeback.h"
+
+#include "util/units.h"
+
+namespace nlss::virt {
+
+void ChargeBack::Sample() {
+  const sim::Tick now = engine_.now();
+  const double dt_seconds =
+      static_cast<double>(now - last_sample_) / util::kNsPerSec;
+  if (dt_seconds > 0) {
+    for (const auto* v : volumes_) {
+      byte_seconds_[v->tenant()] +=
+          static_cast<double>(v->AllocatedBytes()) * dt_seconds;
+    }
+  }
+  last_sample_ = now;
+}
+
+std::vector<ChargeBack::Bill> ChargeBack::Report() const {
+  std::map<std::string, Bill> by_tenant;
+  for (const auto& [tenant, bs] : byte_seconds_) {
+    by_tenant[tenant].tenant = tenant;
+    by_tenant[tenant].byte_seconds = bs;
+  }
+  for (const auto* v : volumes_) {
+    Bill& b = by_tenant[v->tenant()];
+    b.tenant = v->tenant();
+    b.current_allocated += v->AllocatedBytes();
+    b.current_virtual += v->VirtualBytes();
+  }
+  std::vector<Bill> out;
+  out.reserve(by_tenant.size());
+  for (auto& [tenant, bill] : by_tenant) out.push_back(bill);
+  return out;
+}
+
+double ChargeBack::ByteSeconds(const std::string& tenant) const {
+  auto it = byte_seconds_.find(tenant);
+  return it == byte_seconds_.end() ? 0.0 : it->second;
+}
+
+}  // namespace nlss::virt

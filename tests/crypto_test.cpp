@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace nlss::crypto {
+namespace {
+
+std::vector<std::uint8_t> FromHex(std::string_view hex) {
+  std::vector<std::uint8_t> out;
+  auto nib = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    return static_cast<std::uint8_t>(c - 'A' + 10);
+  };
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nib(hex[i]) << 4) | nib(hex[i + 1])));
+  }
+  return out;
+}
+
+TEST(Aes, Fips197Aes128Vector) {
+  // FIPS-197 Appendix C.1.
+  const auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = FromHex("00112233445566778899aabbccddeeff");
+  const auto expect = FromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+  std::uint8_t back[16];
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+}
+
+TEST(Aes, Fips197Aes256Vector) {
+  // FIPS-197 Appendix C.3.
+  const auto key = FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto pt = FromHex("00112233445566778899aabbccddeeff");
+  const auto expect = FromHex("8ea2b7ca516745bfeafc49904b496089");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+  std::uint8_t back[16];
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+}
+
+TEST(Aes, Sp80038aCtrVector) {
+  // NIST SP 800-38A F.5.1 (AES-128 CTR).
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  auto data = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const auto expect = FromHex(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  Aes aes(key);
+  CtrCrypt(aes, iv.data(), data);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Aes, CtrIsInvolution) {
+  util::Rng rng(1);
+  util::Bytes data(1000);
+  util::FillPattern(data, 9);
+  const util::Bytes orig = data;
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = FromHex("000102030405060708090a0b0c0d0e0f");
+  Aes aes(key);
+  CtrCrypt(aes, iv.data(), data);
+  EXPECT_NE(data, orig);
+  CtrCrypt(aes, iv.data(), data);
+  EXPECT_EQ(data, orig);
+}
+
+TEST(Aes, XtsRoundtripAndSectorDependence) {
+  const auto k1 = FromHex(
+      "1111111111111111111111111111111111111111111111111111111111111111");
+  const auto k2 = FromHex(
+      "2222222222222222222222222222222222222222222222222222222222222222");
+  Aes key1(k1), key2(k2);
+  util::Bytes block(4096);
+  util::FillPattern(block, 44);
+  const util::Bytes orig = block;
+
+  util::Bytes sector0 = block;
+  XtsEncrypt(key1, key2, 0, sector0);
+  util::Bytes sector1 = block;
+  XtsEncrypt(key1, key2, 1, sector1);
+  EXPECT_NE(sector0, sector1) << "same data at different sectors must differ";
+
+  XtsDecrypt(key1, key2, 0, sector0);
+  EXPECT_EQ(sector0, orig);
+  XtsDecrypt(key1, key2, 1, sector1);
+  EXPECT_EQ(sector1, orig);
+}
+
+TEST(Aes, XtsIeee1619Vector) {
+  // IEEE 1619-2007 XTS-AES-128, Vector 4 (sector 0, 512 bytes 00..ff x2).
+  const auto k1 = FromHex("27182818284590452353602874713526");
+  const auto k2 = FromHex("31415926535897932384626433832795");
+  util::Bytes data(512);
+  for (int i = 0; i < 512; ++i) data[i] = static_cast<std::uint8_t>(i);
+  Aes key1(k1), key2(k2);
+  XtsEncrypt(key1, key2, 0, data);
+  // First 16 bytes of the expected ciphertext.
+  const auto head = FromHex("27a7479befa1d476489f308cd4cfa6e2");
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+  // And it must roundtrip.
+  XtsDecrypt(key1, key2, 0, data);
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_EQ(data[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(ToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(ToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      ToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  util::Bytes data(7777);
+  util::FillPattern(data, 3);
+  Sha256 h;
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 1000u}) {
+    h.Update(std::span(data).subspan(off, chunk));
+    off += chunk;
+  }
+  h.Update(std::span(data).subspan(off));
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+TEST(Hmac, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  const auto key = FromHex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  EXPECT_EQ(ToHex(HmacSha256(key, FromHex("4869205468657265"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // RFC 4231 test case 2 ("Jefe", "what do ya want for nothing?").
+  EXPECT_EQ(ToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyHashedFirst) {
+  const std::string long_key(200, 'k');
+  const auto d1 = HmacSha256(long_key, "data");
+  const auto key_digest = Sha256::Hash(long_key);
+  const auto d2 = HmacSha256(
+      std::span<const std::uint8_t>(key_digest.data(), key_digest.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>("data"), 4));
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(KeyStore, DerivationDeterministicAndIsolated) {
+  KeyStore ks("lab-master-passphrase");
+  const VolumeKeys a1 = ks.DeriveVolumeKeys("physics", 1);
+  const VolumeKeys a2 = ks.DeriveVolumeKeys("physics", 1);
+  EXPECT_EQ(a1.data_key, a2.data_key);
+  EXPECT_EQ(a1.tweak_key, a2.tweak_key);
+  const VolumeKeys b = ks.DeriveVolumeKeys("biology", 1);
+  EXPECT_NE(a1.data_key, b.data_key);
+  const VolumeKeys c = ks.DeriveVolumeKeys("physics", 2);
+  EXPECT_NE(a1.data_key, c.data_key);
+  EXPECT_NE(a1.data_key, a1.tweak_key);
+}
+
+TEST(KeyStore, TransportKeySymmetric) {
+  KeyStore ks("pw");
+  EXPECT_EQ(ks.DeriveTransportKey("site-a", "site-b"),
+            ks.DeriveTransportKey("site-b", "site-a"));
+  EXPECT_NE(ks.DeriveTransportKey("site-a", "site-b"),
+            ks.DeriveTransportKey("site-a", "site-c"));
+}
+
+TEST(KeyStore, RotationInvalidatesKeys) {
+  KeyStore ks("pw");
+  const VolumeKeys before = ks.DeriveVolumeKeys("t", 1);
+  const std::vector<std::uint8_t> new_master(32, 0x42);
+  ks.Rotate(new_master);
+  EXPECT_EQ(ks.generation(), 1u);
+  const VolumeKeys after = ks.DeriveVolumeKeys("t", 1);
+  EXPECT_NE(before.data_key, after.data_key);
+}
+
+}  // namespace
+}  // namespace nlss::crypto

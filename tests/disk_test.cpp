@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "sim/engine.h"
+#include "util/bytes.h"
+
+namespace nlss::disk {
+namespace {
+
+class DiskTest : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  DiskProfile profile;  // defaults
+
+  std::unique_ptr<Disk> MakeDisk() {
+    return std::make_unique<Disk>(engine, profile, "d0");
+  }
+};
+
+TEST_F(DiskTest, UnwrittenBlocksReadZero) {
+  auto d = MakeDisk();
+  util::Bytes got;
+  d->Read(10, 2, [&](bool ok, util::Bytes data) {
+    EXPECT_TRUE(ok);
+    got = std::move(data);
+  });
+  engine.Run();
+  ASSERT_EQ(got.size(), 2u * profile.block_size);
+  for (auto b : got) EXPECT_EQ(b, 0);
+}
+
+TEST_F(DiskTest, WriteThenReadRoundtrip) {
+  auto d = MakeDisk();
+  util::Bytes data(3 * profile.block_size);
+  util::FillPattern(data, 5);
+  bool wrote = false;
+  d->Write(100, data, [&](bool ok) { wrote = ok; });
+  engine.Run();
+  EXPECT_TRUE(wrote);
+  util::Bytes got;
+  d->Read(100, 3, [&](bool, util::Bytes b) { got = std::move(b); });
+  engine.Run();
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(DiskTest, PartialOverlapReads) {
+  auto d = MakeDisk();
+  util::Bytes data(2 * profile.block_size);
+  util::FillPattern(data, 7);
+  d->Write(50, data, [](bool) {});
+  engine.Run();
+  util::Bytes got;
+  d->Read(51, 1, [&](bool, util::Bytes b) { got = std::move(b); });
+  engine.Run();
+  EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                         data.begin() + profile.block_size));
+}
+
+TEST_F(DiskTest, RandomAccessPaysSeek) {
+  auto d = MakeDisk();
+  sim::Tick t_random = 0;
+  // A full-stroke seek costs well above the average seek time.
+  d->Read(profile.capacity_blocks - 1, 1,
+          [&](bool, util::Bytes) { t_random = engine.now(); });
+  engine.Run();
+  EXPECT_GE(t_random, profile.avg_seek_ns + profile.half_rotation_ns);
+}
+
+TEST_F(DiskTest, SeekCostScalesWithDistance) {
+  // Short strides (slightly out-of-order streaming) must cost far less
+  // than full-stroke seeks: the a + b*sqrt(d) curve.
+  auto measure = [&](std::uint64_t from, std::uint64_t to) {
+    auto d = MakeDisk();
+    sim::Engine& e = engine;
+    sim::Tick t0 = 0, t1 = 0;
+    d->Read(from, 1, [&](bool, util::Bytes) { t0 = e.now(); });
+    engine.Run();
+    d->Read(to, 1, [&](bool, util::Bytes) { t1 = e.now(); });
+    engine.Run();
+    return t1 - t0;
+  };
+  const sim::Tick near = measure(0, 32);  // skip 31 blocks
+  const sim::Tick far = measure(0, profile.capacity_blocks - 2);
+  EXPECT_LT(near, 3 * util::kNsPerMs);
+  EXPECT_GT(far, 6 * util::kNsPerMs);
+  EXPECT_LT(4 * near, far);
+}
+
+TEST_F(DiskTest, SequentialAccessSkipsSeek) {
+  auto d = MakeDisk();
+  // First access seeks; the follow-on at the next LBA is sequential.
+  sim::Tick t1 = 0, t2 = 0;
+  d->Read(0, 1, [&](bool, util::Bytes) { t1 = engine.now(); });
+  engine.Run();
+  d->Read(1, 1, [&](bool, util::Bytes) { t2 = engine.now(); });
+  engine.Run();
+  const sim::Tick transfer_only = t2 - t1;
+  EXPECT_LT(transfer_only, profile.avg_seek_ns)
+      << "sequential access must not pay the seek penalty";
+}
+
+TEST_F(DiskTest, FifoQueueing) {
+  auto d = MakeDisk();
+  sim::Tick t1 = 0, t2 = 0;
+  d->Read(0, 1, [&](bool, util::Bytes) { t1 = engine.now(); });
+  d->Read(1, 1, [&](bool, util::Bytes) { t2 = engine.now(); });
+  engine.Run();
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(DiskTest, FailedDiskRejectsIo) {
+  auto d = MakeDisk();
+  d->Fail();
+  bool read_ok = true, write_ok = true;
+  d->Read(0, 1, [&](bool ok, util::Bytes) { read_ok = ok; });
+  util::Bytes data(profile.block_size);
+  d->Write(0, data, [&](bool ok) { write_ok = ok; });
+  engine.Run();
+  EXPECT_FALSE(read_ok);
+  EXPECT_FALSE(write_ok);
+}
+
+TEST_F(DiskTest, FailureMidFlightFailsOutstandingIo) {
+  auto d = MakeDisk();
+  bool ok = true;
+  d->Read(0, 1, [&](bool r, util::Bytes) { ok = r; });
+  d->Fail();  // before the simulated completion
+  engine.Run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(DiskTest, ReplaceGivesFreshZeroedDrive) {
+  auto d = MakeDisk();
+  util::Bytes data(profile.block_size);
+  util::FillPattern(data, 1);
+  d->Write(0, data, [](bool) {});
+  engine.Run();
+  d->Fail();
+  d->Replace();
+  EXPECT_FALSE(d->failed());
+  util::Bytes got;
+  d->Read(0, 1, [&](bool ok, util::Bytes b) {
+    EXPECT_TRUE(ok);
+    got = std::move(b);
+  });
+  engine.Run();
+  for (auto b : got) EXPECT_EQ(b, 0);
+}
+
+TEST_F(DiskTest, TrimZeroesBlocks) {
+  auto d = MakeDisk();
+  util::Bytes data(profile.block_size);
+  util::FillPattern(data, 2);
+  d->Write(7, data, [](bool) {});
+  engine.Run();
+  EXPECT_EQ(d->store().allocated_blocks(), 1u);
+  d->Trim(7, 1);
+  EXPECT_EQ(d->store().allocated_blocks(), 0u);
+}
+
+TEST_F(DiskTest, StatsTracked) {
+  auto d = MakeDisk();
+  util::Bytes data(profile.block_size);
+  d->Write(0, data, [](bool) {});
+  d->Read(0, 1, [](bool, util::Bytes) {});
+  engine.Run();
+  EXPECT_EQ(d->stats().writes, 1u);
+  EXPECT_EQ(d->stats().reads, 1u);
+  EXPECT_EQ(d->stats().bytes_written, profile.block_size);
+  EXPECT_EQ(d->stats().bytes_read, profile.block_size);
+  EXPECT_GT(d->stats().busy_ns, 0u);
+}
+
+TEST_F(DiskTest, SequentialThroughputNearMediaRate) {
+  auto d = MakeDisk();
+  const std::uint32_t blocks_per_io = 256;  // 1 MiB
+  std::uint64_t done_bytes = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    d->Read(i * blocks_per_io, blocks_per_io, [&](bool ok, util::Bytes b) {
+      EXPECT_TRUE(ok);
+      done_bytes += b.size();
+    });
+  }
+  engine.Run();
+  const double mbps = util::ThroughputMBps(done_bytes, engine.now());
+  // Media rate is 60 MB/s; sequential stream should get close (one seek).
+  EXPECT_GT(mbps, 55.0);
+  EXPECT_LE(mbps, 61.0);
+}
+
+TEST(DiskFarm, CapacityAndIdentity) {
+  sim::Engine engine;
+  DiskProfile p;
+  DiskFarm farm(engine, p, 8, "shelf0-");
+  EXPECT_EQ(farm.size(), 8u);
+  EXPECT_EQ(farm.TotalCapacityBytes(), 8 * p.capacity_bytes());
+  EXPECT_EQ(farm.at(3).name(), "shelf0-3");
+}
+
+}  // namespace
+}  // namespace nlss::disk

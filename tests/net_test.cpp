@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace nlss::net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  Fabric fabric{engine};
+};
+
+TEST_F(FabricTest, DirectDeliveryTiming) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  // 1 byte/ns, 1000 ns latency.
+  fabric.Connect(a, b, LinkProfile{.latency_ns = 1000, .bytes_per_ns = 1.0});
+  sim::Tick delivered = 0;
+  fabric.Send(a, b, 5000, [&] { delivered = engine.now(); });
+  engine.Run();
+  // serialization 5000 ns + latency 1000 ns.
+  EXPECT_EQ(delivered, 6000u);
+}
+
+TEST_F(FabricTest, FifoSerializationContention) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  fabric.Connect(a, b, LinkProfile{.latency_ns = 0, .bytes_per_ns = 1.0});
+  std::vector<sim::Tick> t(2);
+  fabric.Send(a, b, 1000, [&] { t[0] = engine.now(); });
+  fabric.Send(a, b, 1000, [&] { t[1] = engine.now(); });
+  engine.Run();
+  EXPECT_EQ(t[0], 1000u);
+  EXPECT_EQ(t[1], 2000u) << "second message must queue behind the first";
+}
+
+TEST_F(FabricTest, ReverseDirectionIndependent) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  fabric.Connect(a, b, LinkProfile{.latency_ns = 0, .bytes_per_ns = 1.0});
+  std::vector<sim::Tick> t(2);
+  fabric.Send(a, b, 1000, [&] { t[0] = engine.now(); });
+  fabric.Send(b, a, 1000, [&] { t[1] = engine.now(); });
+  engine.Run();
+  EXPECT_EQ(t[0], 1000u);
+  EXPECT_EQ(t[1], 1000u) << "duplex link: directions do not contend";
+}
+
+TEST_F(FabricTest, MultiHopThroughSwitch) {
+  const NodeId host = fabric.AddNode("host");
+  const NodeId sw = fabric.AddNode("switch");
+  const NodeId ctrl = fabric.AddNode("controller");
+  const LinkProfile p{.latency_ns = 100, .bytes_per_ns = 1.0};
+  fabric.Connect(host, sw, p);
+  fabric.Connect(sw, ctrl, p);
+  sim::Tick delivered = 0;
+  fabric.Send(host, ctrl, 1000, [&] { delivered = engine.now(); });
+  engine.Run();
+  // Two hops of (1000 ser + 100 lat) each, store-and-forward.
+  EXPECT_EQ(delivered, 2200u);
+  EXPECT_EQ(fabric.HopCount(host, ctrl), 2u);
+}
+
+TEST_F(FabricTest, LoopbackIsFree) {
+  const NodeId a = fabric.AddNode("a");
+  bool delivered = false;
+  fabric.Send(a, a, 1 << 20, [&] { delivered = true; });
+  engine.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST_F(FabricTest, NoRouteDrops) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  (void)b;
+  bool delivered = false, dropped = false;
+  fabric.Send(a, b, 100, [&] { delivered = true; }, [&] { dropped = true; });
+  engine.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(fabric.dropped(), 1u);
+}
+
+TEST_F(FabricTest, DownNodeDropsAndRecovers) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  fabric.Connect(a, b, LinkProfile{});
+  fabric.SetNodeUp(b, false);
+  int drops = 0, ok = 0;
+  fabric.Send(a, b, 100, [&] { ++ok; }, [&] { ++drops; });
+  engine.Run();
+  EXPECT_EQ(drops, 1);
+  fabric.SetNodeUp(b, true);
+  fabric.Send(a, b, 100, [&] { ++ok; }, [&] { ++drops; });
+  engine.Run();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST_F(FabricTest, ReroutesAroundDownLink) {
+  // a - b - d and a - c - d; kill a-b, traffic survives via c.
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  const NodeId c = fabric.AddNode("c");
+  const NodeId d = fabric.AddNode("d");
+  const LinkProfile p{.latency_ns = 10, .bytes_per_ns = 1.0};
+  fabric.Connect(a, b, p);
+  fabric.Connect(b, d, p);
+  fabric.Connect(a, c, p);
+  fabric.Connect(c, d, p);
+  fabric.SetLinkUp(a, b, false);
+  bool delivered = false;
+  fabric.Send(a, d, 10, [&] { delivered = true; });
+  engine.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(fabric.StatsFor(a, c).messages, 1u);
+  EXPECT_EQ(fabric.StatsFor(a, b).messages, 0u);
+}
+
+TEST_F(FabricTest, StatsAccumulate) {
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  fabric.Connect(a, b, LinkProfile{.latency_ns = 0, .bytes_per_ns = 1.0});
+  fabric.Send(a, b, 500, [] {});
+  fabric.Send(a, b, 700, [] {});
+  engine.Run();
+  const LinkStats s = fabric.StatsFor(a, b);
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.bytes, 1200u);
+  EXPECT_EQ(s.busy_ns, 1200u);
+  EXPECT_EQ(fabric.TotalBytesCarried(), 1200u);
+}
+
+TEST_F(FabricTest, BandwidthMatchesProfile) {
+  // Saturate a 10 GbE link for 1 ms and verify delivered throughput.
+  const NodeId a = fabric.AddNode("a");
+  const NodeId b = fabric.AddNode("b");
+  fabric.Connect(a, b, LinkProfile::TenGbE());
+  std::uint64_t bytes_delivered = 0;
+  const std::uint64_t msg = 64 * util::KiB;
+  for (int i = 0; i < 100; ++i) {
+    fabric.Send(a, b, msg, [&] { bytes_delivered += msg; });
+  }
+  engine.Run();
+  const double gbps = util::ThroughputGbps(bytes_delivered, engine.now());
+  EXPECT_GT(gbps, 9.0);
+  EXPECT_LT(gbps, 10.5);
+}
+
+TEST_F(FabricTest, SharedLinkHalvesThroughput) {
+  // Two senders share one bottleneck link into a sink.
+  const NodeId s1 = fabric.AddNode("s1");
+  const NodeId s2 = fabric.AddNode("s2");
+  const NodeId sw = fabric.AddNode("sw");
+  const NodeId sink = fabric.AddNode("sink");
+  const LinkProfile fast{.latency_ns = 0, .bytes_per_ns = 10.0};
+  const LinkProfile bottleneck{.latency_ns = 0, .bytes_per_ns = 1.0};
+  fabric.Connect(s1, sw, fast);
+  fabric.Connect(s2, sw, fast);
+  fabric.Connect(sw, sink, bottleneck);
+  sim::Tick t1 = 0, t2 = 0;
+  fabric.Send(s1, sink, 10000, [&] { t1 = engine.now(); });
+  fabric.Send(s2, sink, 10000, [&] { t2 = engine.now(); });
+  engine.Run();
+  // Combined 20000 bytes at 1 B/ns on the shared hop: last finishes ~21000.
+  EXPECT_GE(std::max(t1, t2), 20000u);
+}
+
+}  // namespace
+}  // namespace nlss::net

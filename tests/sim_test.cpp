@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace nlss::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.Schedule(300, [&] { order.push_back(3); });
+  e.Schedule(100, [&] { order.push_back(1); });
+  e.Schedule(200, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 300u);
+}
+
+TEST(Engine, FifoAmongSameTick) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  std::vector<Tick> times;
+  e.Schedule(10, [&] {
+    times.push_back(e.now());
+    e.Schedule(5, [&] { times.push_back(e.now()); });
+  });
+  e.Run();
+  EXPECT_EQ(times, (std::vector<Tick>{10, 15}));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int ran = 0;
+  e.Schedule(100, [&] { ++ran; });
+  e.Schedule(200, [&] { ++ran; });
+  e.Schedule(300, [&] { ++ran; });
+  EXPECT_EQ(e.RunUntil(250), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(e.now(), 250u);
+  e.Run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Engine, RunForIsRelative) {
+  Engine e;
+  int ran = 0;
+  e.Schedule(100, [&] { ++ran; });
+  e.RunFor(50);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(e.now(), 50u);
+  e.RunFor(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, StepLimitsExecution) {
+  Engine e;
+  int ran = 0;
+  for (int i = 0; i < 5; ++i) e.Schedule(10 * (i + 1), [&] { ++ran; });
+  EXPECT_EQ(e.Step(2), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(e.PendingEvents(), 3u);
+}
+
+TEST(Engine, StopBreaksRun) {
+  Engine e;
+  int ran = 0;
+  e.Schedule(10, [&] {
+    ++ran;
+    e.Stop();
+  });
+  e.Schedule(20, [&] { ++ran; });
+  e.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.PendingEvents(), 1u);
+}
+
+TEST(Engine, ScheduleAtAbsolute) {
+  Engine e;
+  Tick fired = 0;
+  e.ScheduleAt(777, [&] { fired = e.now(); });
+  e.Run();
+  EXPECT_EQ(fired, 777u);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 42; ++i) e.Schedule(i, [] {});
+  e.Run();
+  EXPECT_EQ(e.executed_events(), 42u);
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  // Two identical runs produce identical event interleavings.
+  auto run = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      e.Schedule(static_cast<Tick>((i * 37) % 50), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    e.Run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace nlss::sim
