@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_encryption.dir/bench_e10_encryption.cpp.o"
+  "CMakeFiles/bench_e10_encryption.dir/bench_e10_encryption.cpp.o.d"
+  "bench_e10_encryption"
+  "bench_e10_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e11_services.cpp" "bench/CMakeFiles/bench_e11_services.dir/bench_e11_services.cpp.o" "gcc" "bench/CMakeFiles/bench_e11_services.dir/bench_e11_services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlss_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_services.dir/bench_e11_services.cpp.o"
+  "CMakeFiles/bench_e11_services.dir/bench_e11_services.cpp.o.d"
+  "bench_e11_services"
+  "bench_e11_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_replication_traffic.dir/bench_e12_replication_traffic.cpp.o"
+  "CMakeFiles/bench_e12_replication_traffic.dir/bench_e12_replication_traffic.cpp.o.d"
+  "bench_e12_replication_traffic"
+  "bench_e12_replication_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_replication_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

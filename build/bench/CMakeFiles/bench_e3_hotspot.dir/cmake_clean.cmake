@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_hotspot.dir/bench_e3_hotspot.cpp.o"
+  "CMakeFiles/bench_e3_hotspot.dir/bench_e3_hotspot.cpp.o.d"
+  "bench_e3_hotspot"
+  "bench_e3_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

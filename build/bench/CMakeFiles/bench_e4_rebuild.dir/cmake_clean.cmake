@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_rebuild.dir/bench_e4_rebuild.cpp.o"
+  "CMakeFiles/bench_e4_rebuild.dir/bench_e4_rebuild.cpp.o.d"
+  "bench_e4_rebuild"
+  "bench_e4_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_dmsd.dir/bench_e5_dmsd.cpp.o"
+  "CMakeFiles/bench_e5_dmsd.dir/bench_e5_dmsd.cpp.o.d"
+  "bench_e5_dmsd"
+  "bench_e5_dmsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_dmsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_nway.dir/bench_e6_nway.cpp.o"
+  "CMakeFiles/bench_e6_nway.dir/bench_e6_nway.cpp.o.d"
+  "bench_e6_nway"
+  "bench_e6_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

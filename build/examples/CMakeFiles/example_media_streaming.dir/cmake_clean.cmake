@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_media_streaming.dir/media_streaming.cpp.o"
+  "CMakeFiles/example_media_streaming.dir/media_streaming.cpp.o.d"
+  "example_media_streaming"
+  "example_media_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_media_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_media_streaming.
+# This may be replaced when dependencies are built.

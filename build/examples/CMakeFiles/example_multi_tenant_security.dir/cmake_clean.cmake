@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_security.dir/multi_tenant_security.cpp.o"
+  "CMakeFiles/example_multi_tenant_security.dir/multi_tenant_security.cpp.o.d"
+  "example_multi_tenant_security"
+  "example_multi_tenant_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_national_lab_grid.dir/national_lab_grid.cpp.o"
+  "CMakeFiles/example_national_lab_grid.dir/national_lab_grid.cpp.o.d"
+  "example_national_lab_grid"
+  "example_national_lab_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_national_lab_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

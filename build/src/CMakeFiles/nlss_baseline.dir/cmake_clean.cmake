@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_baseline.dir/baseline/mirror_split.cpp.o"
+  "CMakeFiles/nlss_baseline.dir/baseline/mirror_split.cpp.o.d"
+  "CMakeFiles/nlss_baseline.dir/baseline/traditional_array.cpp.o"
+  "CMakeFiles/nlss_baseline.dir/baseline/traditional_array.cpp.o.d"
+  "libnlss_baseline.a"
+  "libnlss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

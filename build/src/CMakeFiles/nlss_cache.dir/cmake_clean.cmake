@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_cache.dir/cache/cluster.cpp.o"
+  "CMakeFiles/nlss_cache.dir/cache/cluster.cpp.o.d"
+  "CMakeFiles/nlss_cache.dir/cache/node.cpp.o"
+  "CMakeFiles/nlss_cache.dir/cache/node.cpp.o.d"
+  "libnlss_cache.a"
+  "libnlss_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_controller.dir/controller/heartbeat.cpp.o"
+  "CMakeFiles/nlss_controller.dir/controller/heartbeat.cpp.o.d"
+  "CMakeFiles/nlss_controller.dir/controller/highspeed.cpp.o"
+  "CMakeFiles/nlss_controller.dir/controller/highspeed.cpp.o.d"
+  "CMakeFiles/nlss_controller.dir/controller/system.cpp.o"
+  "CMakeFiles/nlss_controller.dir/controller/system.cpp.o.d"
+  "libnlss_controller.a"
+  "libnlss_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/nlss_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/nlss_crypto.dir/crypto/keystore.cpp.o"
+  "CMakeFiles/nlss_crypto.dir/crypto/keystore.cpp.o.d"
+  "CMakeFiles/nlss_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/nlss_crypto.dir/crypto/sha256.cpp.o.d"
+  "libnlss_crypto.a"
+  "libnlss_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

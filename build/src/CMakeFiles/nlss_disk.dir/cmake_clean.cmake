@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_disk.dir/disk/disk.cpp.o"
+  "CMakeFiles/nlss_disk.dir/disk/disk.cpp.o.d"
+  "libnlss_disk.a"
+  "libnlss_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_fs.dir/fs/filesystem.cpp.o"
+  "CMakeFiles/nlss_fs.dir/fs/filesystem.cpp.o.d"
+  "libnlss_fs.a"
+  "libnlss_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnlss_fs.a"
+)

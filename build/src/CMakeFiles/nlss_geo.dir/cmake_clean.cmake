@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_geo.dir/geo/geo.cpp.o"
+  "CMakeFiles/nlss_geo.dir/geo/geo.cpp.o.d"
+  "CMakeFiles/nlss_geo.dir/geo/volume_replication.cpp.o"
+  "CMakeFiles/nlss_geo.dir/geo/volume_replication.cpp.o.d"
+  "libnlss_geo.a"
+  "libnlss_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

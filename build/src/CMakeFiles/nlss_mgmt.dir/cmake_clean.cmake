@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_mgmt.dir/mgmt/admin_http.cpp.o"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/admin_http.cpp.o.d"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/json.cpp.o"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/json.cpp.o.d"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/manager.cpp.o"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/manager.cpp.o.d"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/mgmt_network.cpp.o"
+  "CMakeFiles/nlss_mgmt.dir/mgmt/mgmt_network.cpp.o.d"
+  "libnlss_mgmt.a"
+  "libnlss_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/nlss_net.dir/net/fabric.cpp.o.d"
+  "libnlss_net.a"
+  "libnlss_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

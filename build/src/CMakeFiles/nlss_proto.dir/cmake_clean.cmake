@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_proto.dir/proto/block_target.cpp.o"
+  "CMakeFiles/nlss_proto.dir/proto/block_target.cpp.o.d"
+  "CMakeFiles/nlss_proto.dir/proto/block_wire.cpp.o"
+  "CMakeFiles/nlss_proto.dir/proto/block_wire.cpp.o.d"
+  "CMakeFiles/nlss_proto.dir/proto/file_server.cpp.o"
+  "CMakeFiles/nlss_proto.dir/proto/file_server.cpp.o.d"
+  "CMakeFiles/nlss_proto.dir/proto/http_server.cpp.o"
+  "CMakeFiles/nlss_proto.dir/proto/http_server.cpp.o.d"
+  "libnlss_proto.a"
+  "libnlss_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid/gf256.cpp" "src/CMakeFiles/nlss_raid.dir/raid/gf256.cpp.o" "gcc" "src/CMakeFiles/nlss_raid.dir/raid/gf256.cpp.o.d"
+  "/root/repo/src/raid/group.cpp" "src/CMakeFiles/nlss_raid.dir/raid/group.cpp.o" "gcc" "src/CMakeFiles/nlss_raid.dir/raid/group.cpp.o.d"
+  "/root/repo/src/raid/layout.cpp" "src/CMakeFiles/nlss_raid.dir/raid/layout.cpp.o" "gcc" "src/CMakeFiles/nlss_raid.dir/raid/layout.cpp.o.d"
+  "/root/repo/src/raid/rebuild.cpp" "src/CMakeFiles/nlss_raid.dir/raid/rebuild.cpp.o" "gcc" "src/CMakeFiles/nlss_raid.dir/raid/rebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlss_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

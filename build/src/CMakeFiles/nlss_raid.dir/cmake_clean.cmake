@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_raid.dir/raid/gf256.cpp.o"
+  "CMakeFiles/nlss_raid.dir/raid/gf256.cpp.o.d"
+  "CMakeFiles/nlss_raid.dir/raid/group.cpp.o"
+  "CMakeFiles/nlss_raid.dir/raid/group.cpp.o.d"
+  "CMakeFiles/nlss_raid.dir/raid/layout.cpp.o"
+  "CMakeFiles/nlss_raid.dir/raid/layout.cpp.o.d"
+  "CMakeFiles/nlss_raid.dir/raid/rebuild.cpp.o"
+  "CMakeFiles/nlss_raid.dir/raid/rebuild.cpp.o.d"
+  "libnlss_raid.a"
+  "libnlss_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

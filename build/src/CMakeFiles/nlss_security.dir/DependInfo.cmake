@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/audit.cpp" "src/CMakeFiles/nlss_security.dir/security/audit.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/audit.cpp.o.d"
+  "/root/repo/src/security/auth.cpp" "src/CMakeFiles/nlss_security.dir/security/auth.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/auth.cpp.o.d"
+  "/root/repo/src/security/channel.cpp" "src/CMakeFiles/nlss_security.dir/security/channel.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/channel.cpp.o.d"
+  "/root/repo/src/security/control.cpp" "src/CMakeFiles/nlss_security.dir/security/control.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/control.cpp.o.d"
+  "/root/repo/src/security/encrypted_backing.cpp" "src/CMakeFiles/nlss_security.dir/security/encrypted_backing.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/encrypted_backing.cpp.o.d"
+  "/root/repo/src/security/lun_mask.cpp" "src/CMakeFiles/nlss_security.dir/security/lun_mask.cpp.o" "gcc" "src/CMakeFiles/nlss_security.dir/security/lun_mask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nlss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nlss_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_security.dir/security/audit.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/audit.cpp.o.d"
+  "CMakeFiles/nlss_security.dir/security/auth.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/auth.cpp.o.d"
+  "CMakeFiles/nlss_security.dir/security/channel.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/channel.cpp.o.d"
+  "CMakeFiles/nlss_security.dir/security/control.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/control.cpp.o.d"
+  "CMakeFiles/nlss_security.dir/security/encrypted_backing.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/encrypted_backing.cpp.o.d"
+  "CMakeFiles/nlss_security.dir/security/lun_mask.cpp.o"
+  "CMakeFiles/nlss_security.dir/security/lun_mask.cpp.o.d"
+  "libnlss_security.a"
+  "libnlss_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

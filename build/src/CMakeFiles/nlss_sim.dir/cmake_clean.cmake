@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/nlss_sim.dir/sim/engine.cpp.o.d"
+  "libnlss_sim.a"
+  "libnlss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/nlss_util.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/crc32c.cpp" "src/CMakeFiles/nlss_util.dir/util/crc32c.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/crc32c.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/nlss_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/nlss_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/nlss_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/nlss_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/nlss_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/nlss_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

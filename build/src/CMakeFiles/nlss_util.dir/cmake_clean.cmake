@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/crc32c.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/crc32c.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/logging.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/rng.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/stats.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/table.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/nlss_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/nlss_util.dir/util/thread_pool.cpp.o.d"
+  "libnlss_util.a"
+  "libnlss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlss_virt.dir/virt/chargeback.cpp.o"
+  "CMakeFiles/nlss_virt.dir/virt/chargeback.cpp.o.d"
+  "CMakeFiles/nlss_virt.dir/virt/pool.cpp.o"
+  "CMakeFiles/nlss_virt.dir/virt/pool.cpp.o.d"
+  "CMakeFiles/nlss_virt.dir/virt/volume.cpp.o"
+  "CMakeFiles/nlss_virt.dir/virt/volume.cpp.o.d"
+  "libnlss_virt.a"
+  "libnlss_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlss_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

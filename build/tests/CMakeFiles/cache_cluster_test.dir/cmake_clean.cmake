@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_cluster_test.dir/cache_cluster_test.cpp.o"
+  "CMakeFiles/cache_cluster_test.dir/cache_cluster_test.cpp.o.d"
+  "cache_cluster_test"
+  "cache_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

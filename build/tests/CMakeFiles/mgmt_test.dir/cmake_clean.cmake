@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_test.dir/mgmt_test.cpp.o"
+  "CMakeFiles/mgmt_test.dir/mgmt_test.cpp.o.d"
+  "mgmt_test"
+  "mgmt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

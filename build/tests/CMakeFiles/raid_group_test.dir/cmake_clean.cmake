@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_group_test.dir/raid_group_test.cpp.o"
+  "CMakeFiles/raid_group_test.dir/raid_group_test.cpp.o.d"
+  "raid_group_test"
+  "raid_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_layout_test.dir/raid_layout_test.cpp.o"
+  "CMakeFiles/raid_layout_test.dir/raid_layout_test.cpp.o.d"
+  "raid_layout_test"
+  "raid_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_rebuild_test.dir/raid_rebuild_test.cpp.o"
+  "CMakeFiles/raid_rebuild_test.dir/raid_rebuild_test.cpp.o.d"
+  "raid_rebuild_test"
+  "raid_rebuild_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_rebuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_test.dir/virt_test.cpp.o"
+  "CMakeFiles/virt_test.dir/virt_test.cpp.o.d"
+  "virt_test"
+  "virt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

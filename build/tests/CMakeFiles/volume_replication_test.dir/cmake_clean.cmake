@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_replication_test.dir/volume_replication_test.cpp.o"
+  "CMakeFiles/volume_replication_test.dir/volume_replication_test.cpp.o.d"
+  "volume_replication_test"
+  "volume_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
