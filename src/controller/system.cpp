@@ -76,6 +76,10 @@ VolumeId StorageSystem::CreateVolume(const std::string& tenant,
   }
   cache_->RegisterVolume(id, volumes_.back().get());
   chargeback_->Track(volumes_.back().get());
+  if (qos_ != nullptr) {
+    const auto t = qos_->registry().FindByName(tenant);
+    if (t.has_value()) qos_->registry().BindVolume(id, *t);
+  }
   return id;
 }
 
@@ -116,15 +120,33 @@ cache::ControllerId StorageSystem::PickController(VolumeId vol) {
   }
 }
 
+qos::TenantId StorageSystem::ResolveTenant(VolumeId vol,
+                                           qos::TenantId hint) const {
+  if (hint != qos::kAutoTenant) return hint;
+  if (qos_ == nullptr) return qos::kDefaultTenant;
+  return qos_->registry().ResolveVolume(vol);
+}
+
+void StorageSystem::AttachQos(qos::Scheduler* qos) {
+  qos_ = qos;
+  if (qos_ == nullptr) return;
+  // Bind existing volumes by tenant name so auto-resolution works for
+  // volumes created before the scheduler was attached.
+  for (VolumeId id = 0; id < volumes_.size(); ++id) {
+    const auto t = qos_->registry().FindByName(volumes_[id]->tenant());
+    if (t.has_value()) qos_->registry().BindVolume(id, *t);
+  }
+}
+
 void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
                          std::uint32_t length, ReadCallback cb,
-                         std::uint8_t priority) {
+                         std::uint8_t priority, qos::TenantId tenant) {
   // Host-driver multipathing: re-issue via another blade on failure.
   auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
   auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
-  *attempt = [this, host, vol, offset, length, priority, shared_cb,
+  *attempt = [this, host, vol, offset, length, priority, tenant, shared_cb,
               attempt](std::uint32_t retries_left) {
-    ReadOnce(host, vol, offset, length, priority,
+    ReadOnce(host, vol, offset, length, priority, tenant,
              [this, shared_cb, attempt, retries_left](bool ok,
                                                       util::Bytes data) {
                if (ok || retries_left == 0) {
@@ -142,56 +164,79 @@ void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
 
 void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
                              std::uint64_t offset, std::uint32_t length,
-                             std::uint8_t priority, ReadCallback cb) {
+                             std::uint8_t priority, qos::TenantId tenant,
+                             ReadCallback cb) {
   const cache::ControllerId ctrl = PickController(vol);
-  ++outstanding_[ctrl];
   auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
-  // Request command to the blade (small), response data back to the host.
-  fabric_.Send(
-      host, controller_nodes_[ctrl], config_.cache.ctrl_msg_bytes,
-      [this, host, ctrl, vol, offset, length, priority, shared_cb] {
-        cache_->Read(
-            ctrl, vol, offset, length,
-            [this, host, ctrl, shared_cb](bool ok, util::Bytes data) {
-                       --outstanding_[ctrl];
-                       if (!ok) {
-                         (*shared_cb)(false, {});
-                         return;
-                       }
-                       auto payload =
-                           std::make_shared<util::Bytes>(std::move(data));
-                       fabric_.Send(
-                           controller_nodes_[ctrl], host, payload->size(),
-                           [shared_cb, payload] {
-                             (*shared_cb)(true, std::move(*payload));
-                           },
-                           [shared_cb] { (*shared_cb)(false, {}); });
-                     });
-      },
-      [this, ctrl, shared_cb] {
-        --outstanding_[ctrl];
-        (*shared_cb)(false, {});
-      });
+  // The blade attempt, parameterized on the QoS completion hook (`done` is
+  // a no-op when no scheduler is attached).
+  auto issue = [this, host, ctrl, vol, offset, length, priority,
+                shared_cb](std::function<void(bool)> done) {
+    ++outstanding_[ctrl];
+    // Request command to the blade (small), response data to the host.
+    fabric_.Send(
+        host, controller_nodes_[ctrl], config_.cache.ctrl_msg_bytes,
+        [this, host, ctrl, vol, offset, length, priority, shared_cb, done] {
+          cache_->Read(
+              ctrl, vol, offset, length,
+              [this, host, ctrl, shared_cb, done](bool ok, util::Bytes data) {
+                --outstanding_[ctrl];
+                if (!ok) {
+                  done(false);
+                  (*shared_cb)(false, {});
+                  return;
+                }
+                auto payload = std::make_shared<util::Bytes>(std::move(data));
+                fabric_.Send(
+                    controller_nodes_[ctrl], host, payload->size(),
+                    [shared_cb, payload, done] {
+                      done(true);
+                      (*shared_cb)(true, std::move(*payload));
+                    },
+                    [shared_cb, done] {
+                      done(false);
+                      (*shared_cb)(false, {});
+                    });
+              },
+              priority);
+        },
+        [this, ctrl, shared_cb, done] {
+          --outstanding_[ctrl];
+          done(false);
+          (*shared_cb)(false, {});
+        });
+  };
+  if (qos_ != nullptr) {
+    if (!qos_->Submit(ctrl, ResolveTenant(vol, tenant), length,
+                      std::move(issue))) {
+      // Admission rejected (backpressure): fail the attempt; the multipath
+      // retry loop re-submits after retry_delay_ns.
+      engine_.Schedule(0, [shared_cb] { (*shared_cb)(false, {}); });
+    }
+    return;
+  }
+  issue([](bool) {});
 }
 
 void StorageSystem::Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
-                          std::span<const std::uint8_t> data,
-                          WriteCallback cb) {
+                          std::span<const std::uint8_t> data, WriteCallback cb,
+                          qos::TenantId tenant) {
   WriteReplicated(host, vol, offset, data, config_.cache.replication,
-                  std::move(cb));
+                  std::move(cb), 0, tenant);
 }
 
 void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
                                     std::uint64_t offset,
                                     std::span<const std::uint8_t> data,
                                     std::uint32_t replication,
-                                    WriteCallback cb, std::uint8_t priority) {
+                                    WriteCallback cb, std::uint8_t priority,
+                                    qos::TenantId tenant) {
   auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
   auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
   auto outer_cb = std::make_shared<WriteCallback>(std::move(cb));
-  *attempt = [this, host, vol, offset, payload, replication, priority,
+  *attempt = [this, host, vol, offset, payload, replication, priority, tenant,
               outer_cb, attempt](std::uint32_t retries_left) {
-    WriteOnce(host, vol, offset, payload, replication, priority,
+    WriteOnce(host, vol, offset, payload, replication, priority, tenant,
               [this, outer_cb, attempt, retries_left](bool ok) {
                 if (ok || retries_left == 0) {
                   (*outer_cb)(ok);
@@ -210,34 +255,108 @@ void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
                               std::uint64_t offset,
                               std::shared_ptr<util::Bytes> payload,
                               std::uint32_t replication, std::uint8_t priority,
-                              WriteCallback cb) {
+                              qos::TenantId tenant, WriteCallback cb) {
   const cache::ControllerId ctrl = PickController(vol);
-  ++outstanding_[ctrl];
   auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
-  // Data travels host -> blade, then the ack returns blade -> host.
-  fabric_.Send(
-      host, controller_nodes_[ctrl], payload->size(),
-      [this, host, ctrl, vol, offset, replication, priority, payload,
-       shared_cb] {
-        cache_->WriteWithReplication(
-            ctrl, vol, offset, *payload, replication,
-            [this, host, ctrl, shared_cb](bool ok) {
-              --outstanding_[ctrl];
-              if (!ok) {
-                (*shared_cb)(false);
-                return;
-              }
-              fabric_.Send(
-                  controller_nodes_[ctrl], host, config_.cache.ctrl_msg_bytes,
-                  [shared_cb] { (*shared_cb)(true); },
-                  [shared_cb] { (*shared_cb)(false); });
-            },
-            priority);
-      },
-      [this, ctrl, shared_cb] {
-        --outstanding_[ctrl];
-        (*shared_cb)(false);
-      });
+  auto issue = [this, host, ctrl, vol, offset, replication, priority, payload,
+                shared_cb](std::function<void(bool)> done) {
+    ++outstanding_[ctrl];
+    // Data travels host -> blade, then the ack returns blade -> host.
+    fabric_.Send(
+        host, controller_nodes_[ctrl], payload->size(),
+        [this, host, ctrl, vol, offset, replication, priority, payload,
+         shared_cb, done] {
+          cache_->WriteWithReplication(
+              ctrl, vol, offset, *payload, replication,
+              [this, host, ctrl, shared_cb, done](bool ok) {
+                --outstanding_[ctrl];
+                if (!ok) {
+                  done(false);
+                  (*shared_cb)(false);
+                  return;
+                }
+                fabric_.Send(
+                    controller_nodes_[ctrl], host,
+                    config_.cache.ctrl_msg_bytes,
+                    [shared_cb, done] {
+                      done(true);
+                      (*shared_cb)(true);
+                    },
+                    [shared_cb, done] {
+                      done(false);
+                      (*shared_cb)(false);
+                    });
+              },
+              priority);
+        },
+        [this, ctrl, shared_cb, done] {
+          --outstanding_[ctrl];
+          done(false);
+          (*shared_cb)(false);
+        });
+  };
+  if (qos_ != nullptr) {
+    if (!qos_->Submit(ctrl, ResolveTenant(vol, tenant), payload->size(),
+                      std::move(issue))) {
+      engine_.Schedule(0, [shared_cb] { (*shared_cb)(false); });
+    }
+    return;
+  }
+  issue([](bool) {});
+}
+
+void StorageSystem::BladeRead(cache::ControllerId via, VolumeId vol,
+                              std::uint64_t offset, std::uint32_t length,
+                              std::uint8_t priority, qos::TenantId tenant,
+                              ReadCallback cb) {
+  auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
+  auto issue = [this, via, vol, offset, length, priority,
+                shared_cb](std::function<void(bool)> done) {
+    cache_->Read(
+        via, vol, offset, length,
+        [shared_cb, done](bool ok, util::Bytes data) {
+          done(ok);
+          (*shared_cb)(ok, std::move(data));
+        },
+        priority);
+  };
+  if (qos_ != nullptr) {
+    if (!qos_->Submit(via, ResolveTenant(vol, tenant), length,
+                      std::move(issue))) {
+      engine_.Schedule(0, [shared_cb] { (*shared_cb)(false, {}); });
+    }
+    return;
+  }
+  issue([](bool) {});
+}
+
+void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
+                               std::uint64_t offset,
+                               std::span<const std::uint8_t> data,
+                               std::uint32_t replication,
+                               std::uint8_t priority, qos::TenantId tenant,
+                               WriteCallback cb) {
+  // Own the payload: dispatch may be deferred past the caller's buffer.
+  auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
+  auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+  auto issue = [this, via, vol, offset, replication, priority, payload,
+                shared_cb](std::function<void(bool)> done) {
+    cache_->WriteWithReplication(
+        via, vol, offset, *payload, replication,
+        [shared_cb, done](bool ok) {
+          done(ok);
+          (*shared_cb)(ok);
+        },
+        priority);
+  };
+  if (qos_ != nullptr) {
+    if (!qos_->Submit(via, ResolveTenant(vol, tenant), payload->size(),
+                      std::move(issue))) {
+      engine_.Schedule(0, [shared_cb] { (*shared_cb)(false); });
+    }
+    return;
+  }
+  issue([](bool) {});
 }
 
 void StorageSystem::FailController(std::uint32_t i) {

@@ -22,6 +22,7 @@
 #include "cache/cluster.h"
 #include "disk/disk.h"
 #include "net/fabric.h"
+#include "qos/scheduler.h"
 #include "raid/group.h"
 #include "raid/rebuild.h"
 #include "sim/engine.h"
@@ -87,20 +88,43 @@ class StorageSystem {
   /// Cached I/O from `host`, routed to a blade by the balancing policy.
   /// Timing includes the host->blade and blade->host fabric transfers.
   /// `priority` is the cache retention priority (per-file policy, §4).
+  /// `tenant` attributes the request for QoS scheduling; kAutoTenant
+  /// resolves via the volume binding when a scheduler is attached.
   void Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
-            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0);
+            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0,
+            qos::TenantId tenant = qos::kAutoTenant);
   void Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
-             std::span<const std::uint8_t> data, WriteCallback cb);
+             std::span<const std::uint8_t> data, WriteCallback cb,
+             qos::TenantId tenant = qos::kAutoTenant);
 
   /// Same, with per-request replication/priority overrides (per-file
   /// policies).
   void WriteReplicated(net::NodeId host, VolumeId vol, std::uint64_t offset,
                        std::span<const std::uint8_t> data,
                        std::uint32_t replication, WriteCallback cb,
-                       std::uint8_t priority = 0);
+                       std::uint8_t priority = 0,
+                       qos::TenantId tenant = qos::kAutoTenant);
+
+  /// Controller-local cached I/O (no host fabric legs): the entry the
+  /// parallel file system uses once it has picked a blade.  Rides the same
+  /// QoS admission path as host I/O.
+  void BladeRead(cache::ControllerId via, VolumeId vol, std::uint64_t offset,
+                 std::uint32_t length, std::uint8_t priority,
+                 qos::TenantId tenant, ReadCallback cb);
+  void BladeWrite(cache::ControllerId via, VolumeId vol, std::uint64_t offset,
+                  std::span<const std::uint8_t> data,
+                  std::uint32_t replication, std::uint8_t priority,
+                  qos::TenantId tenant, WriteCallback cb);
 
   /// Expose blade selection for components (streaming, protocols).
   cache::ControllerId PickController(VolumeId vol);
+
+  // --- QoS (multi-tenant performance isolation) ------------------------------
+  /// Attach a tenant-aware admission/scheduling layer.  Existing volumes
+  /// whose tenant name matches a registered QoS tenant are bound to it.
+  /// Pass nullptr to detach (I/O reverts to FIFO admission).
+  void AttachQos(qos::Scheduler* qos);
+  qos::Scheduler* qos() const { return qos_; }
 
   // --- Failure / maintenance ------------------------------------------------------
   void FailController(std::uint32_t i);
@@ -134,11 +158,14 @@ class StorageSystem {
   /// Single attempts (no retry); the public entry points wrap these with
   /// the host-driver multipath retry loop.
   void ReadOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
-                std::uint32_t length, std::uint8_t priority, ReadCallback cb);
+                std::uint32_t length, std::uint8_t priority,
+                qos::TenantId tenant, ReadCallback cb);
   void WriteOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
                  std::shared_ptr<util::Bytes> payload,
                  std::uint32_t replication, std::uint8_t priority,
-                 WriteCallback cb);
+                 qos::TenantId tenant, WriteCallback cb);
+  /// Map a request to its QoS tenant (explicit id, else volume binding).
+  qos::TenantId ResolveTenant(VolumeId vol, qos::TenantId hint) const;
   sim::Engine& engine_;
   net::Fabric& fabric_;
   SystemConfig config_;
@@ -154,6 +181,7 @@ class StorageSystem {
   std::vector<std::unique_ptr<virt::DemandMappedVolume>> volumes_;
   std::uint32_t rr_next_ = 0;
   std::vector<std::uint32_t> outstanding_;
+  qos::Scheduler* qos_ = nullptr;
 };
 
 }  // namespace nlss::controller

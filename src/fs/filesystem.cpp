@@ -260,6 +260,7 @@ void FileSystem::Write(const std::string& path, std::uint64_t offset,
   }
   const std::uint32_t replication = inode.policy.cache_replication;
   const std::uint8_t priority = inode.policy.cache_priority;
+  const qos::TenantId tenant = inode.policy.qos_tenant;
   auto join = std::make_shared<Join>(
       static_cast<int>(pieces.size()),
       [cb = std::move(cb)](bool ok) {
@@ -267,10 +268,10 @@ void FileSystem::Write(const std::string& path, std::uint64_t offset,
       });
   for (const Piece& p : pieces) {
     const cache::ControllerId via = system_.PickController(volume_);
-    system_.cache().WriteWithReplication(
+    system_.BladeWrite(
         via, volume_, p.vol_offset,
         std::span<const std::uint8_t>(data.data() + p.src, p.len), replication,
-        [join](bool ok) { join->Arrive(ok); }, priority);
+        priority, tenant, [join](bool ok) { join->Arrive(ok); });
   }
 }
 
@@ -327,16 +328,16 @@ void FileSystem::Read(const std::string& path, std::uint64_t offset,
       });
   for (const Piece& p : pieces) {
     const cache::ControllerId via = system_.PickController(volume_);
-    system_.cache().Read(
-        via, volume_, p.vol_offset, p.len,
+    system_.BladeRead(
+        via, volume_, p.vol_offset, p.len, inode.policy.cache_priority,
+        inode.policy.qos_tenant,
         [result, p, join](bool ok, util::Bytes data) {
           if (ok) {
             std::copy(data.begin(), data.end(),
                       result->begin() + static_cast<std::ptrdiff_t>(p.out));
           }
           join->Arrive(ok);
-        },
-        inode.policy.cache_priority);
+        });
   }
 }
 
@@ -387,6 +388,7 @@ util::Bytes FileSystem::SerializeMetadata() const {
     w.U8(node.policy.raid_override
              ? static_cast<std::uint8_t>(*node.policy.raid_override) + 1
              : 0);
+    w.U32(node.policy.qos_tenant);
     w.U64(node.chunks.size());
     for (const auto c : node.chunks) w.U64(c);
     w.U64(node.entries.size());
@@ -423,6 +425,7 @@ Status FileSystem::LoadMetadata(std::span<const std::uint8_t> blob) {
       if (raid != 0) {
         node.policy.raid_override = static_cast<raid::RaidLevel>(raid - 1);
       }
+      node.policy.qos_tenant = r.U32();
       const std::uint64_t nchunks = r.U64();
       node.chunks.reserve(nchunks);
       for (std::uint64_t c = 0; c < nchunks; ++c) node.chunks.push_back(r.U64());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "controller/system.h"
+#include "qos/tenant.h"
 #include "raid/layout.h"
 #include "util/bytes.h"
 
@@ -50,6 +51,10 @@ struct FilePolicy {
   std::uint32_t geo_sites = 2;          // copies across sites (incl. home)
   std::uint64_t geo_min_distance_km = 0;
   std::optional<raid::RaidLevel> raid_override;  // placement preference
+  // QoS tenant this file's I/O is billed to (kAutoTenant = resolve from
+  // the FS volume's tenant binding).  Lets one namespace serve several
+  // labs with per-file service classes.
+  qos::TenantId qos_tenant = qos::kAutoTenant;
 };
 
 enum class FileType : std::uint8_t { kFile, kDirectory };

@@ -1,10 +1,33 @@
 #include "mgmt/admin_http.h"
 
+#include <charconv>
+#include <map>
 #include <sstream>
 
 #include "mgmt/json.h"
 
 namespace nlss::mgmt {
+namespace {
+
+/// Split "k1=v1&k2=v2" into a map (no URL decoding: admin values are
+/// simple identifiers/numbers).
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 proto::HttpResponse AdminHttp::Json(int status,
                                     const std::string& body) const {
@@ -49,15 +72,30 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
   }
   audit_.Record(*admin, "admin-http", request->path);
 
-  if (request->path == "/status") {
+  // Routes may carry a query string ("/qos/weight?class=gold&weight=8").
+  std::string path = request->path;
+  std::string query;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path = path.substr(0, q);
+  }
+  if (path == "/qos") {
+    if (qos_ == nullptr) return Json(404, "{\"error\":\"no qos scheduler\"}");
+    return QosReport();
+  }
+  if (path == "/qos/weight") {
+    if (qos_ == nullptr) return Json(404, "{\"error\":\"no qos scheduler\"}");
+    return QosSetWeight(query);
+  }
+  if (path == "/status") {
     StatusReporter reporter(system_);
     return Json(200, reporter.Report());
   }
-  if (request->path == "/geo") {
+  if (path == "/geo") {
     if (geo_ == nullptr) return Json(404, "{\"error\":\"no geo cluster\"}");
     return Json(200, GeoStatusReport(*geo_));
   }
-  if (request->path == "/alerts") {
+  if (path == "/alerts") {
     JsonWriter w;
     w.BeginArray();
     for (const Alert& a : alerts_.alerts()) {
@@ -74,7 +112,7 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
     w.EndArray();
     return Json(200, w.str());
   }
-  if (request->path == "/audit") {
+  if (path == "/audit") {
     JsonWriter w;
     w.BeginObject();
     w.Field("chain_intact", audit_.VerifyChain());
@@ -92,6 +130,77 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
     return Json(200, w.str());
   }
   return Json(404, "{\"error\":\"unknown route\"}");
+}
+
+proto::HttpResponse AdminHttp::QosReport() const {
+  const qos::TenantRegistry& registry = qos_->registry();
+  const qos::SloTracker& slo = qos_->slo();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("classes").BeginArray();
+  for (int c = 0; c < qos::kServiceClasses; ++c) {
+    const auto cls = static_cast<qos::ServiceClass>(c);
+    const qos::ClassSpec& spec = registry.spec(cls);
+    w.BeginObject();
+    w.Field("name", qos::ServiceClassName(cls));
+    w.Field("weight", static_cast<std::uint64_t>(spec.weight));
+    w.Field("rate_bytes_per_sec", spec.rate_bytes_per_sec);
+    w.Field("burst_bytes", spec.burst_bytes);
+    w.Field("max_queue_depth", static_cast<std::uint64_t>(spec.max_queue_depth));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("tenants").BeginArray();
+  for (const qos::Tenant& t : registry.tenants()) {
+    const auto& s = slo.stats(t.id);
+    w.BeginObject();
+    w.Field("id", static_cast<std::uint64_t>(t.id));
+    w.Field("name", t.name);
+    w.Field("class", qos::ServiceClassName(t.cls));
+    w.Field("ops", s.ops);
+    w.Field("errors", s.errors);
+    w.Field("rejected", s.rejected);
+    w.Field("bytes", s.bytes);
+    w.Field("delivered_mbps", slo.DeliveredMBps(t.id));
+    w.Field("latency_p50_ns", s.latency.Percentile(0.5));
+    w.Field("latency_p99_ns", s.latency.Percentile(0.99));
+    w.Field("latency_mean_ns", s.latency.Mean());
+    w.Field("queue_wait_p99_ns", s.queue_wait.Percentile(0.99));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return Json(200, w.str());
+}
+
+proto::HttpResponse AdminHttp::QosSetWeight(const std::string& query) {
+  const auto params = ParseQuery(query);
+  const auto cls_it = params.find("class");
+  const auto weight_it = params.find("weight");
+  if (cls_it == params.end() || weight_it == params.end()) {
+    return Json(400, "{\"error\":\"class and weight required\"}");
+  }
+  const auto cls = qos::ServiceClassFromName(cls_it->second);
+  if (!cls.has_value()) {
+    return Json(400, "{\"error\":\"unknown class\"}");
+  }
+  std::uint32_t weight = 0;
+  const auto& ws = weight_it->second;
+  const auto [ptr, ec] =
+      std::from_chars(ws.data(), ws.data() + ws.size(), weight);
+  if (ec != std::errc() || ptr != ws.data() + ws.size() ||
+      !qos_->registry().SetClassWeight(*cls, weight)) {
+    return Json(400, "{\"error\":\"invalid weight\"}");
+  }
+  audit_.Record("admin", "qos-set-weight",
+                cls_it->second + "=" + ws);
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("ok", true);
+  w.Field("class", cls_it->second);
+  w.Field("weight", static_cast<std::uint64_t>(weight));
+  w.EndObject();
+  return Json(200, w.str());
 }
 
 }  // namespace nlss::mgmt

@@ -8,6 +8,9 @@
 //   GET /geo             geo-cluster snapshot (when attached)
 //   GET /alerts          alert log
 //   GET /audit           audit chain (verifies integrity before serving)
+//   GET /qos             per-tenant SLO snapshot + class specs (attached)
+//   GET /qos/weight?class=<gold|silver|bronze>&weight=<n>
+//                        runtime WFQ weight reconfiguration
 #pragma once
 
 #include <optional>
@@ -17,6 +20,7 @@
 #include "geo/geo.h"
 #include "mgmt/manager.h"
 #include "proto/http_server.h"
+#include "qos/scheduler.h"
 #include "security/audit.h"
 #include "security/auth.h"
 
@@ -29,6 +33,7 @@ class AdminHttp {
       : system_(system), auth_(auth), alerts_(alerts), audit_(audit) {}
 
   void AttachGeo(geo::GeoCluster* geo) { geo_ = geo; }
+  void AttachQos(qos::Scheduler* qos) { qos_ = qos; }
 
   /// Handle "GET <path> HTTP/1.0" with an auth token header line
   /// "Authorization: <token>".  Admin role required.
@@ -37,12 +42,15 @@ class AdminHttp {
  private:
   proto::HttpResponse Json(int status, const std::string& body) const;
   std::optional<std::string> Authenticate(const std::string& raw) const;
+  proto::HttpResponse QosReport() const;
+  proto::HttpResponse QosSetWeight(const std::string& query);
 
   controller::StorageSystem& system_;
   security::AuthService& auth_;
   AlertManager& alerts_;
   security::AuditLog& audit_;
   geo::GeoCluster* geo_ = nullptr;
+  qos::Scheduler* qos_ = nullptr;
 };
 
 }  // namespace nlss::mgmt

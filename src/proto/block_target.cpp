@@ -34,9 +34,19 @@ std::optional<BlockTarget::SessionId> BlockTarget::Login(
     return std::nullopt;
   }
   const SessionId id = next_session_++;
-  sessions_[id] = Session{host, initiator, user, *token};
+  // QoS tenant identity is fixed at login time (paper-style: a lab's hosts
+  // authenticate as that lab's users).
+  const qos::TenantId tenant = qos_registry_ != nullptr
+                                   ? qos_registry_->ResolveUser(user)
+                                   : qos::kAutoTenant;
+  sessions_[id] = Session{host, initiator, user, *token, tenant};
   audit_.Record(user, "block-login", "initiator=" + initiator);
   return id;
+}
+
+qos::TenantId BlockTarget::SessionTenant(SessionId session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? qos::kAutoTenant : it->second.tenant;
 }
 
 void BlockTarget::Logout(SessionId session) {
@@ -80,15 +90,17 @@ void BlockTarget::Read(SessionId session, std::uint32_t volume,
     return;
   }
   const std::uint32_t bs = system_.pool().block_size();
-  system_.Read(s->host, volume, lba * bs, blocks * bs,
-               [cb = std::move(cb)](bool ok, util::Bytes data) {
-                 if (!ok) {
-                   cb(BlockStatus::kIoError, {}, 0);
-                   return;
-                 }
-                 const std::uint32_t crc = util::Crc32c(data);
-                 cb(BlockStatus::kOk, std::move(data), crc);
-               });
+  system_.Read(
+      s->host, volume, lba * bs, blocks * bs,
+      [cb = std::move(cb)](bool ok, util::Bytes data) {
+        if (!ok) {
+          cb(BlockStatus::kIoError, {}, 0);
+          return;
+        }
+        const std::uint32_t crc = util::Crc32c(data);
+        cb(BlockStatus::kOk, std::move(data), crc);
+      },
+      /*priority=*/0, s->tenant);
 }
 
 void BlockTarget::Write(SessionId session, std::uint32_t volume,
@@ -116,10 +128,12 @@ void BlockTarget::Write(SessionId session, std::uint32_t volume,
     return;
   }
   const std::uint32_t bs = system_.pool().block_size();
-  system_.Write(s->host, volume, lba * bs, data,
-                [cb = std::move(cb)](bool ok) {
-                  cb(ok ? BlockStatus::kOk : BlockStatus::kIoError);
-                });
+  system_.Write(
+      s->host, volume, lba * bs, data,
+      [cb = std::move(cb)](bool ok) {
+        cb(ok ? BlockStatus::kOk : BlockStatus::kIoError);
+      },
+      s->tenant);
 }
 
 BlockStatus BlockTarget::TrySnapshot(SessionId session, std::uint32_t volume) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "controller/system.h"
+#include "qos/tenant.h"
 #include "security/audit.h"
 #include "security/auth.h"
 #include "security/control.h"
@@ -38,6 +39,10 @@ class BlockTarget {
               security::LunMasking& masking, security::CommandPolicy& policy,
               security::AuditLog& audit);
 
+  /// Resolve tenant identity at login (QoS): sessions opened after this
+  /// carry the user's tenant, so their block I/O is scheduled under it.
+  void AttachQos(qos::TenantRegistry* registry) { qos_registry_ = registry; }
+
   /// Authenticated login from a host node; returns a session handle.
   std::optional<SessionId> Login(net::NodeId host,
                                  const std::string& initiator,
@@ -63,12 +68,17 @@ class BlockTarget {
 
   std::size_t active_sessions() const { return sessions_.size(); }
 
+  /// Tenant of an open session (kAutoTenant if unknown session or no
+  /// registry attached) — exposed for tests and management tooling.
+  qos::TenantId SessionTenant(SessionId session) const;
+
  private:
   struct Session {
     net::NodeId host;
     std::string initiator;
     std::string user;
     std::string token;
+    qos::TenantId tenant = qos::kAutoTenant;
   };
 
   const Session* Validate(SessionId id) const;
@@ -78,6 +88,7 @@ class BlockTarget {
   security::LunMasking& masking_;
   security::CommandPolicy& policy_;
   security::AuditLog& audit_;
+  qos::TenantRegistry* qos_registry_ = nullptr;
   std::map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
 };

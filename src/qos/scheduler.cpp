@@ -1,0 +1,106 @@
+#include "qos/scheduler.h"
+
+#include <cassert>
+#include <limits>
+#include <memory>
+
+namespace nlss::qos {
+
+Scheduler::Scheduler(sim::Engine& engine, TenantRegistry& registry,
+                     std::uint32_t blades, Config config)
+    : engine_(engine),
+      registry_(registry),
+      config_(config),
+      blades_(blades),
+      slo_(engine) {
+  assert(blades >= 1);
+  assert(config_.max_in_service_per_blade >= 1);
+}
+
+TokenBucket& Scheduler::BucketFor(TenantId t) {
+  TokenBucket& bucket = buckets_[t];
+  // Track runtime spec changes: reconfigure when the class parameters
+  // moved (Configure is a no-op on the balance when nothing changed).
+  const ClassSpec& spec = registry_.SpecFor(t);
+  if (bucket.rate() != spec.rate_bytes_per_sec ||
+      bucket.burst() != spec.burst_bytes) {
+    bucket.Configure(spec.rate_bytes_per_sec, spec.burst_bytes);
+  }
+  return bucket;
+}
+
+bool Scheduler::Submit(std::uint32_t blade, TenantId tenant,
+                       std::uint64_t cost_bytes, Launch launch) {
+  Blade& b = blades_.at(blade);
+  const Tenant& t = registry_.tenant(tenant);  // clamps unknown ids
+  const ClassSpec& spec = registry_.spec(t.cls);
+  if (b.queue.size() >= config_.max_queue_per_blade ||
+      b.queue.TenantDepth(t.id) >= spec.max_queue_depth) {
+    slo_.OnReject(t.id);
+    return false;
+  }
+  QueuedOp op;
+  op.tenant = t.id;
+  op.cost = cost_bytes;
+  op.submitted = engine_.now();
+  op.launch = std::move(launch);
+  b.queue.Push(std::move(op), spec.weight);
+  TryDispatch(blade);
+  return true;
+}
+
+void Scheduler::TryDispatch(std::uint32_t blade) {
+  Blade& b = blades_[blade];
+  const sim::Tick now = engine_.now();
+  while (b.in_service < config_.max_in_service_per_blade &&
+         !b.queue.empty()) {
+    auto op = b.queue.PopEligible([&](TenantId t, std::uint64_t cost) {
+      return BucketFor(t).CanTake(cost, now);
+    });
+    if (!op.has_value()) {
+      // Every queued head is token-throttled: plant one wake-up at the
+      // earliest eligibility tick (DES-scheduled refill).
+      sim::Tick earliest = std::numeric_limits<sim::Tick>::max();
+      b.queue.ForEachHead([&](TenantId t, std::uint64_t cost) {
+        earliest = std::min(earliest, BucketFor(t).EligibleAt(cost, now));
+      });
+      if (earliest != std::numeric_limits<sim::Tick>::max()) {
+        ScheduleWakeup(blade, earliest);
+      }
+      return;
+    }
+    const bool took = BucketFor(op->tenant).TryTake(op->cost, now);
+    assert(took);
+    (void)took;
+    ++b.in_service;
+    slo_.OnDispatch(op->tenant, now - op->submitted);
+    auto launch = std::move(op->launch);
+    const TenantId tenant = op->tenant;
+    const std::uint64_t cost = op->cost;
+    const sim::Tick submitted = op->submitted;
+    auto done_called = std::make_shared<bool>(false);
+    launch([this, blade, tenant, cost, submitted, done_called](bool ok) {
+      assert(!*done_called && "QoS completion signalled twice");
+      if (*done_called) return;
+      *done_called = true;
+      Blade& bb = blades_[blade];
+      --bb.in_service;
+      slo_.OnComplete(tenant, cost, ok, engine_.now() - submitted);
+      TryDispatch(blade);
+    });
+  }
+}
+
+void Scheduler::ScheduleWakeup(std::uint32_t blade, sim::Tick at) {
+  Blade& b = blades_[blade];
+  if (b.wakeup_pending && b.wakeup_at <= at) return;
+  b.wakeup_pending = true;
+  b.wakeup_at = at;
+  engine_.ScheduleAt(at, [this, blade, at] {
+    Blade& bb = blades_[blade];
+    if (bb.wakeup_pending && bb.wakeup_at == at) bb.wakeup_pending = false;
+    TryDispatch(blade);
+  });
+}
+
+}  // namespace nlss::qos

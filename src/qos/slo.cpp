@@ -1,0 +1,51 @@
+#include "qos/slo.h"
+
+#include "util/table.h"
+#include "util/units.h"
+
+namespace nlss::qos {
+
+void SloTracker::OnComplete(TenantId t, std::uint64_t bytes, bool ok,
+                            sim::Tick latency_ns) {
+  TenantStats& s = stats_[t];
+  ++s.ops;
+  if (ok) {
+    s.bytes += bytes;
+  } else {
+    ++s.errors;
+  }
+  s.latency.Record(latency_ns);
+}
+
+const SloTracker::TenantStats& SloTracker::stats(TenantId t) const {
+  static const TenantStats kEmpty;
+  auto it = stats_.find(t);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+double SloTracker::DeliveredMBps(TenantId t) const {
+  return util::ThroughputMBps(stats(t).bytes, engine_.now() - window_start_);
+}
+
+void SloTracker::Reset() {
+  stats_.clear();
+  window_start_ = engine_.now();
+}
+
+std::string SloTracker::TableString(const TenantRegistry& registry) const {
+  util::Table table({"tenant", "class", "ops", "rejected", "MB/s",
+                     "p50 lat (us)", "p99 lat (us)", "p99 wait (us)"});
+  for (const auto& [id, s] : stats_) {
+    const Tenant& t = registry.tenant(id);
+    table.AddRow({t.name, ServiceClassName(t.cls), util::Table::Cell(s.ops),
+                  util::Table::Cell(s.rejected),
+                  util::Table::Cell(DeliveredMBps(id), 1),
+                  util::Table::Cell(s.latency.Percentile(0.5) / 1000.0, 0),
+                  util::Table::Cell(s.latency.Percentile(0.99) / 1000.0, 0),
+                  util::Table::Cell(s.queue_wait.Percentile(0.99) / 1000.0,
+                                    0)});
+  }
+  return table.ToString();
+}
+
+}  // namespace nlss::qos

@@ -1,0 +1,55 @@
+// Per-tenant SLO tracking: end-to-end latency histograms, queue-wait
+// histograms, delivered-throughput counters, and admission rejections.
+// The management plane serves these as JSON (mgmt::AdminHttp /qos) and the
+// benchmarks print them as util::Table rows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "qos/tenant.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+
+namespace nlss::qos {
+
+class SloTracker {
+ public:
+  explicit SloTracker(sim::Engine& engine) : engine_(engine) {}
+
+  struct TenantStats {
+    std::uint64_t ops = 0;       // completed (ok or error)
+    std::uint64_t errors = 0;
+    std::uint64_t rejected = 0;  // admission-control rejections
+    std::uint64_t bytes = 0;     // delivered (successful ops only)
+    util::Histogram latency;     // submit -> completion, ns
+    util::Histogram queue_wait;  // submit -> dispatch, ns
+  };
+
+  void OnReject(TenantId t) { ++stats_[t].rejected; }
+  void OnDispatch(TenantId t, sim::Tick wait_ns) {
+    stats_[t].queue_wait.Record(wait_ns);
+  }
+  void OnComplete(TenantId t, std::uint64_t bytes, bool ok,
+                  sim::Tick latency_ns);
+
+  const TenantStats& stats(TenantId t) const;
+  const std::map<TenantId, TenantStats>& all() const { return stats_; }
+
+  /// Delivered MB/s over the window since the last Reset().
+  double DeliveredMBps(TenantId t) const;
+
+  /// Clear counters and restart the throughput window at engine.now().
+  void Reset();
+
+  /// Paper-style ASCII table, one row per tenant.
+  std::string TableString(const TenantRegistry& registry) const;
+
+ private:
+  sim::Engine& engine_;
+  sim::Tick window_start_ = 0;
+  std::map<TenantId, TenantStats> stats_;
+};
+
+}  // namespace nlss::qos

@@ -1,0 +1,84 @@
+#include "qos/tenant.h"
+
+namespace nlss::qos {
+
+const char* ServiceClassName(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kGold: return "gold";
+    case ServiceClass::kSilver: return "silver";
+    case ServiceClass::kBronze: return "bronze";
+  }
+  return "?";
+}
+
+std::optional<ServiceClass> ServiceClassFromName(const std::string& name) {
+  if (name == "gold") return ServiceClass::kGold;
+  if (name == "silver") return ServiceClass::kSilver;
+  if (name == "bronze") return ServiceClass::kBronze;
+  return std::nullopt;
+}
+
+TenantRegistry::TenantRegistry() {
+  // Class defaults: gold is latency-sensitive (large share, deep queue),
+  // bronze is scavenger-grade.  Rates default to uncapped; deployments set
+  // caps per class where they want hard ceilings.
+  specs_[static_cast<int>(ServiceClass::kGold)] =
+      ClassSpec{8, 0, 32ull << 20, 128};
+  specs_[static_cast<int>(ServiceClass::kSilver)] =
+      ClassSpec{4, 0, 16ull << 20, 64};
+  specs_[static_cast<int>(ServiceClass::kBronze)] =
+      ClassSpec{1, 0, 8ull << 20, 32};
+
+  tenants_.push_back(Tenant{kDefaultTenant, "default", ServiceClass::kSilver});
+  by_name_["default"] = kDefaultTenant;
+}
+
+TenantId TenantRegistry::Register(const std::string& name, ServiceClass cls) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    tenants_[it->second].cls = cls;
+    return it->second;
+  }
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  tenants_.push_back(Tenant{id, name, cls});
+  by_name_[name] = id;
+  return id;
+}
+
+void TenantRegistry::BindUser(const std::string& user, TenantId tenant) {
+  by_user_[user] = tenant;
+}
+
+void TenantRegistry::BindVolume(std::uint32_t volume, TenantId tenant) {
+  by_volume_[volume] = tenant;
+}
+
+TenantId TenantRegistry::ResolveUser(const std::string& user) const {
+  auto it = by_user_.find(user);
+  return it == by_user_.end() ? kDefaultTenant : it->second;
+}
+
+TenantId TenantRegistry::ResolveVolume(std::uint32_t volume) const {
+  auto it = by_volume_.find(volume);
+  return it == by_volume_.end() ? kDefaultTenant : it->second;
+}
+
+std::optional<TenantId> TenantRegistry::FindByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Tenant& TenantRegistry::tenant(TenantId id) const {
+  if (id >= tenants_.size()) return tenants_[kDefaultTenant];
+  return tenants_[id];
+}
+
+bool TenantRegistry::SetClassWeight(ServiceClass c, std::uint32_t weight) {
+  if (weight == 0) return false;
+  specs_[static_cast<int>(c)].weight = weight;
+  return true;
+}
+
+}  // namespace nlss::qos

@@ -1,0 +1,90 @@
+// Tenant registry for the QoS subsystem (multi-tenant performance
+// isolation).  The paper's shared national-lab pool serves many labs from
+// one set of controller blades; the registry names those labs (tenants),
+// assigns each a service class (gold/silver/bronze), and binds protocol
+// sessions (by user) and volumes (by id) to tenants so every I/O entering
+// a blade can be attributed and scheduled.
+//
+// Class specs — WFQ weight, token-bucket rate/burst, per-blade queue-depth
+// cap — are runtime-mutable (the management plane reconfigures weights
+// without disturbing in-flight I/O; changes apply to newly queued requests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nlss::qos {
+
+using TenantId = std::uint32_t;
+
+/// Tenant 0 always exists: traffic with no binding lands here.
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Sentinel for "not specified": resolve from the volume binding instead.
+inline constexpr TenantId kAutoTenant = 0xFFFFFFFFu;
+
+enum class ServiceClass : std::uint8_t { kGold = 0, kSilver = 1, kBronze = 2 };
+inline constexpr int kServiceClasses = 3;
+
+const char* ServiceClassName(ServiceClass c);
+std::optional<ServiceClass> ServiceClassFromName(const std::string& name);
+
+/// Per-class scheduling parameters shared by every tenant of the class.
+struct ClassSpec {
+  std::uint32_t weight = 1;              // WFQ share (relative)
+  std::uint64_t rate_bytes_per_sec = 0;  // token-bucket rate; 0 = uncapped
+  std::uint64_t burst_bytes = 8ull << 20;
+  std::uint32_t max_queue_depth = 64;    // per-tenant, per-blade admission cap
+};
+
+struct Tenant {
+  TenantId id = kDefaultTenant;
+  std::string name;
+  ServiceClass cls = ServiceClass::kSilver;
+};
+
+class TenantRegistry {
+ public:
+  TenantRegistry();
+
+  /// Register a tenant; names are unique (re-registering a name returns the
+  /// existing id and updates its class).
+  TenantId Register(const std::string& name, ServiceClass cls);
+
+  /// Bind a protocol user (block-target login identity) to a tenant.
+  void BindUser(const std::string& user, TenantId tenant);
+  /// Bind a volume id to a tenant (requests with kAutoTenant resolve here).
+  void BindVolume(std::uint32_t volume, TenantId tenant);
+
+  /// Unknown users/volumes resolve to the default tenant.
+  TenantId ResolveUser(const std::string& user) const;
+  TenantId ResolveVolume(std::uint32_t volume) const;
+  std::optional<TenantId> FindByName(const std::string& name) const;
+
+  /// Unknown or kAutoTenant ids clamp to the default tenant.
+  const Tenant& tenant(TenantId id) const;
+  const std::vector<Tenant>& tenants() const { return tenants_; }
+  std::size_t size() const { return tenants_.size(); }
+
+  const ClassSpec& spec(ServiceClass c) const {
+    return specs_[static_cast<int>(c)];
+  }
+  void SetClassSpec(ServiceClass c, const ClassSpec& s) {
+    specs_[static_cast<int>(c)] = s;
+  }
+  /// Runtime weight reconfiguration (management plane); rejects weight 0.
+  bool SetClassWeight(ServiceClass c, std::uint32_t weight);
+  const ClassSpec& SpecFor(TenantId id) const { return spec(tenant(id).cls); }
+
+ private:
+  std::vector<Tenant> tenants_;
+  std::map<std::string, TenantId> by_name_;
+  std::map<std::string, TenantId> by_user_;
+  std::map<std::uint32_t, TenantId> by_volume_;
+  ClassSpec specs_[kServiceClasses];
+};
+
+}  // namespace nlss::qos

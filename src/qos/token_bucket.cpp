@@ -1,0 +1,77 @@
+#include "qos/token_bucket.h"
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace nlss::qos {
+
+TokenBucket::TokenBucket(std::uint64_t rate_bytes_per_sec,
+                         std::uint64_t burst_bytes) {
+  Configure(rate_bytes_per_sec, burst_bytes);
+}
+
+void TokenBucket::Configure(std::uint64_t rate_bytes_per_sec,
+                            std::uint64_t burst_bytes) {
+  rate_ = rate_bytes_per_sec;
+  burst_ = burst_bytes;
+  if (!initialized_) {
+    tokens_ = static_cast<std::int64_t>(burst_);  // buckets start full
+    initialized_ = true;
+  }
+  tokens_ = std::min(tokens_, static_cast<std::int64_t>(burst_));
+}
+
+void TokenBucket::Refill(sim::Tick now) {
+  if (now <= last_) return;
+  const sim::Tick delta = now - last_;
+  last_ = now;
+  if (rate_ == 0) return;
+  const unsigned __int128 acc =
+      static_cast<unsigned __int128>(delta) * rate_ + frac_ns_;
+  const std::uint64_t add =
+      static_cast<std::uint64_t>(acc / util::kNsPerSec);
+  frac_ns_ = static_cast<std::uint64_t>(acc % util::kNsPerSec);
+  tokens_ += static_cast<std::int64_t>(add);
+  if (tokens_ >= static_cast<std::int64_t>(burst_)) {
+    tokens_ = static_cast<std::int64_t>(burst_);
+    frac_ns_ = 0;  // a full bucket does not bank fractional tokens
+  }
+}
+
+std::int64_t TokenBucket::Need(std::uint64_t cost) const {
+  return static_cast<std::int64_t>(std::min(cost, burst_));
+}
+
+bool TokenBucket::CanTake(std::uint64_t cost, sim::Tick now) {
+  if (rate_ == 0) return true;
+  Refill(now);
+  return tokens_ >= Need(cost);
+}
+
+bool TokenBucket::TryTake(std::uint64_t cost, sim::Tick now) {
+  if (rate_ == 0) return true;
+  Refill(now);
+  if (tokens_ < Need(cost)) return false;
+  tokens_ -= static_cast<std::int64_t>(cost);
+  return true;
+}
+
+sim::Tick TokenBucket::EligibleAt(std::uint64_t cost, sim::Tick now) {
+  if (rate_ == 0) return now;
+  Refill(now);
+  const std::int64_t need = Need(cost);
+  if (tokens_ >= need) return now;
+  const unsigned __int128 deficit_ns =
+      static_cast<unsigned __int128>(need - tokens_) * util::kNsPerSec;
+  const unsigned __int128 wait =
+      (deficit_ns - frac_ns_ + rate_ - 1) / rate_;
+  return now + static_cast<sim::Tick>(wait);
+}
+
+std::int64_t TokenBucket::BalanceAt(sim::Tick now) {
+  Refill(now);
+  return rate_ == 0 ? static_cast<std::int64_t>(burst_) : tokens_;
+}
+
+}  // namespace nlss::qos

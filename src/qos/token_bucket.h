@@ -1,0 +1,56 @@
+// Deterministic token bucket for per-tenant rate capping.
+//
+// Tokens are bytes; they accrue at `rate` bytes per simulated second up to
+// `burst`.  All arithmetic is integer (128-bit intermediates) against the
+// DES clock, so refill timing is exact and bit-reproducible — there is no
+// background refill event; the bucket folds elapsed ticks in lazily and the
+// scheduler asks EligibleAt() to plant a single wake-up when it must wait.
+//
+// Ops larger than one burst are admitted when the bucket is at least
+// `burst` full and charged their full cost (the balance goes negative),
+// which enforces the long-run rate exactly for any op size.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+
+namespace nlss::qos {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(std::uint64_t rate_bytes_per_sec, std::uint64_t burst_bytes);
+
+  /// Reconfigure in place; the current balance is clamped to the new burst.
+  void Configure(std::uint64_t rate_bytes_per_sec, std::uint64_t burst_bytes);
+
+  /// True if `cost` can be taken at `now` without waiting.
+  bool CanTake(std::uint64_t cost, sim::Tick now);
+
+  /// Take `cost` tokens at `now`; returns false (taking nothing) if the
+  /// bucket is not yet eligible.  Uncapped buckets (rate 0) always succeed.
+  bool TryTake(std::uint64_t cost, sim::Tick now);
+
+  /// Earliest tick >= now at which TryTake(cost) will succeed.
+  sim::Tick EligibleAt(std::uint64_t cost, sim::Tick now);
+
+  std::uint64_t rate() const { return rate_; }
+  std::uint64_t burst() const { return burst_; }
+  /// Current balance (after folding in time up to `now`); negative = debt.
+  std::int64_t BalanceAt(sim::Tick now);
+
+ private:
+  void Refill(sim::Tick now);
+  /// Ops can never need more than one full burst at once.
+  std::int64_t Need(std::uint64_t cost) const;
+
+  std::uint64_t rate_ = 0;   // bytes per simulated second; 0 = uncapped
+  std::uint64_t burst_ = 0;  // max balance in bytes
+  std::int64_t tokens_ = 0;
+  std::uint64_t frac_ns_ = 0;  // sub-token remainder, in byte-nanoseconds
+  sim::Tick last_ = 0;
+  bool initialized_ = false;   // first Configure() fills the bucket
+};
+
+}  // namespace nlss::qos

@@ -45,10 +45,24 @@ void Histogram::Record(std::uint64_t value, std::uint64_t count) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  assert(bits_ == other.bits_);
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+  if (bits_ == other.bits_) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  } else {
+    // Renormalize: re-bucket each source bucket at a representative value
+    // (its upper bound, clamped to the observed max so a finer-grained
+    // destination never reports a percentile above the true maximum).
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      if (other.buckets_[i] == 0) continue;
+      const std::uint64_t rep =
+          std::min(other.BucketUpperBound(i), other.max_);
+      std::size_t idx = BucketIndex(rep);
+      if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+      buckets_[idx] += other.buckets_[i];
+    }
   }
+  // Aggregates merge exactly regardless of bucket geometry.
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);

@@ -19,7 +19,10 @@ class Histogram {
   void Record(std::uint64_t value);
   void Record(std::uint64_t value, std::uint64_t count);
 
-  /// Merge another histogram into this one.
+  /// Merge another histogram into this one.  Differing sub_bucket_bits are
+  /// renormalized: each source bucket is re-recorded at its upper bound
+  /// (clamped to the source max), so bucket placement coarsens to this
+  /// histogram's resolution while count/min/max/sum stay exact.
   void Merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }

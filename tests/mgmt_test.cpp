@@ -205,6 +205,47 @@ TEST_F(MgmtTest, AdminHttpEndpointRequiresAdminRole) {
   EXPECT_EQ(r.status, 404);
 }
 
+TEST_F(MgmtTest, AdminHttpQosRoutes) {
+  crypto::KeyStore keys(std::string_view("m"));
+  security::AuthService auth(engine_, keys);
+  security::AuditLog audit(engine_);
+  AlertManager alerts(engine_);
+  auth.AddUser("root", "pw", {"admin"});
+  AdminHttp admin(*system_, auth, alerts, audit);
+  const auto token = *auth.Login("root", "pw");
+
+  // Without a scheduler attached: 404.
+  auto r = admin.Handle("GET /qos HTTP/1.0\r\nAuthorization: " + token +
+                        "\r\n\r\n");
+  EXPECT_EQ(r.status, 404);
+
+  qos::TenantRegistry registry;
+  registry.Register("lab-a", qos::ServiceClass::kGold);
+  qos::Scheduler qos(engine_, registry, system_->controller_count());
+  admin.AttachQos(&qos);
+
+  r = admin.Handle("GET /qos HTTP/1.0\r\nAuthorization: " + token +
+                   "\r\n\r\n");
+  EXPECT_EQ(r.status, 200);
+  std::string body(r.body.begin(), r.body.end());
+  EXPECT_NE(body.find("\"lab-a\""), std::string::npos);
+  EXPECT_NE(body.find("\"classes\""), std::string::npos);
+
+  // Runtime weight reconfiguration via query string.
+  r = admin.Handle("GET /qos/weight?class=bronze&weight=3 HTTP/1.0\r\n"
+                   "Authorization: " + token + "\r\n\r\n");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(registry.spec(qos::ServiceClass::kBronze).weight, 3u);
+
+  // Invalid weight (0) and unknown class are rejected.
+  r = admin.Handle("GET /qos/weight?class=bronze&weight=0 HTTP/1.0\r\n"
+                   "Authorization: " + token + "\r\n\r\n");
+  EXPECT_EQ(r.status, 400);
+  r = admin.Handle("GET /qos/weight?class=platinum&weight=2 HTTP/1.0\r\n"
+                   "Authorization: " + token + "\r\n\r\n");
+  EXPECT_EQ(r.status, 400);
+}
+
 TEST_F(MgmtTest, GeoStatusReport) {
   geo::GeoCluster cluster(engine_, *fabric_);
   controller::SystemConfig sc;

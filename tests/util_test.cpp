@@ -163,6 +163,53 @@ TEST(Histogram, ZeroValue) {
   EXPECT_EQ(h.Percentile(1.0), 0u);
 }
 
+TEST(Histogram, ZeroCountRecordIsNoOp) {
+  Histogram h;
+  h.Record(42, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(Histogram, EmptyPercentileAndMergeOfEmpty) {
+  Histogram empty;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(empty.Percentile(q), 0u) << "quantile " << q;
+  }
+  Histogram h;
+  h.Record(7);
+  h.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(Histogram, MergeRenormalizesAcrossBucketResolutions) {
+  Histogram coarse(2), fine(8);
+  for (std::uint64_t v = 1; v <= 10000; ++v) fine.Record(v);
+  coarse.Record(5);
+  coarse.Merge(fine);
+  // Aggregates are exact regardless of geometry.
+  EXPECT_EQ(coarse.count(), 10001u);
+  EXPECT_EQ(coarse.min(), 1u);
+  EXPECT_EQ(coarse.max(), 10000u);
+  EXPECT_NEAR(coarse.Mean(), (10000.0 * 10001.0 / 2.0 + 5.0) / 10001.0, 0.01);
+  // Percentiles degrade to the destination's resolution but stay sane.
+  EXPECT_NEAR(static_cast<double>(coarse.Percentile(0.5)) / 5000.0, 1.0, 0.5);
+  EXPECT_LE(coarse.Percentile(1.0), 10000u);
+
+  // And the other direction: coarse source into a fine destination must
+  // never report beyond the true max.
+  Histogram fine2(8);
+  Histogram coarse2(2);
+  coarse2.Record(1000);
+  fine2.Merge(coarse2);
+  EXPECT_EQ(fine2.count(), 1u);
+  EXPECT_LE(fine2.Percentile(1.0), 1000u);
+}
+
 TEST(RunningStat, WelfordMatchesDirect) {
   RunningStat s;
   const std::vector<double> xs = {3, 7, 7, 19, 24, 1, 0.5};
