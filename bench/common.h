@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "controller/system.h"
@@ -16,6 +18,37 @@
 #include "util/units.h"
 
 namespace nlss::bench {
+
+/// Command-line arguments shared by the bench binaries:
+///   --seed=<n>   reseed the workload RNGs (default 7)
+///   --json       emit machine-readable results alongside the tables
+/// Unknown flags abort with usage, so a typo can't silently run the
+/// default experiment.
+struct Args {
+  std::uint64_t seed = 7;
+  bool json = false;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        args.json = true;
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        char* end = nullptr;
+        args.seed = std::strtoull(arg.c_str() + 7, &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "invalid --seed value: %s\n", arg.c_str());
+          std::exit(2);
+        }
+      } else {
+        std::fprintf(stderr, "usage: %s [--seed=<n>] [--json]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
 
 /// A single-site system + fabric bundle with sensible experiment defaults.
 struct TestBed {

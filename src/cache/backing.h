@@ -7,6 +7,7 @@
 #include <functional>
 #include <span>
 
+#include "obs/trace.h"
 #include "raid/group.h"
 #include "util/bytes.h"
 
@@ -20,10 +21,10 @@ class BackingStore {
   virtual ~BackingStore() = default;
 
   virtual void ReadBlocks(std::uint64_t block, std::uint32_t count,
-                          ReadCallback cb) = 0;
+                          ReadCallback cb, obs::TraceContext ctx = {}) = 0;
   virtual void WriteBlocks(std::uint64_t block,
                            std::span<const std::uint8_t> data,
-                           WriteCallback cb) = 0;
+                           WriteCallback cb, obs::TraceContext ctx = {}) = 0;
   virtual std::uint64_t CapacityBlocks() const = 0;
   virtual std::uint32_t block_size() const = 0;
 
@@ -37,13 +38,13 @@ class RaidBacking final : public BackingStore {
  public:
   explicit RaidBacking(raid::RaidGroup& group) : group_(group) {}
 
-  void ReadBlocks(std::uint64_t block, std::uint32_t count,
-                  ReadCallback cb) override {
-    group_.ReadBlocks(block, count, std::move(cb));
+  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext ctx = {}) override {
+    group_.ReadBlocks(block, count, std::move(cb), ctx);
   }
   void WriteBlocks(std::uint64_t block, std::span<const std::uint8_t> data,
-                   WriteCallback cb) override {
-    group_.WriteBlocks(block, data, std::move(cb));
+                   WriteCallback cb, obs::TraceContext ctx = {}) override {
+    group_.WriteBlocks(block, data, std::move(cb), ctx);
   }
   std::uint64_t CapacityBlocks() const override {
     return group_.DataCapacityBlocks();
@@ -67,8 +68,8 @@ class MemBacking final : public BackingStore {
   // Effects and counters apply at simulated *completion* time, so a write
   // issued before a crash but still "in flight" has not yet reached the
   // medium — matching real disk semantics.
-  void ReadBlocks(std::uint64_t block, std::uint32_t count,
-                  ReadCallback cb) override {
+  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext = {}) override {
     engine_.Schedule(latency_ns_, [this, block, count,
                                    cb = std::move(cb)]() mutable {
       ++reads_;
@@ -80,7 +81,7 @@ class MemBacking final : public BackingStore {
     });
   }
   void WriteBlocks(std::uint64_t block, std::span<const std::uint8_t> data,
-                   WriteCallback cb) override {
+                   WriteCallback cb, obs::TraceContext = {}) override {
     util::Bytes copy(data.begin(), data.end());
     engine_.Schedule(latency_ns_, [this, block, copy = std::move(copy),
                                    cb = std::move(cb)]() mutable {

@@ -53,9 +53,10 @@ std::uint32_t CacheCluster::PageBlocks(std::uint32_t volume) const {
 }
 
 void CacheCluster::Msg(ControllerId from, ControllerId to, std::uint64_t bytes,
-                       std::function<void()> delivered, Failure on_drop) {
+                       std::function<void()> delivered, Failure on_drop,
+                       obs::TraceContext ctx) {
   fabric_.Send(ctrls_[from]->node, ctrls_[to]->node, bytes,
-               std::move(delivered), std::move(on_drop));
+               std::move(delivered), std::move(on_drop), ctx);
 }
 
 // --- Directory entry serialization ------------------------------------------
@@ -135,7 +136,8 @@ CacheNode::Frame& CacheCluster::InstallFrame(ControllerId ctrl,
 // --- Backing I/O -------------------------------------------------------------
 
 void CacheCluster::ReadFromBacking(ControllerId ctrl, PageKey key,
-                                   BackingStore::ReadCallback cb) {
+                                   BackingStore::ReadCallback cb,
+                                   obs::TraceContext ctx) {
   BackingStore* vol = volumes_.at(key.volume);
   const std::uint32_t pb = PageBlocks(key.volume);
   const std::uint64_t block = key.page * pb;
@@ -164,12 +166,14 @@ void CacheCluster::ReadFromBacking(ControllerId ctrl, PageKey key,
                                               data = std::move(data)]() mutable {
                       cb(true, std::move(data));
                     });
-                  });
+                  },
+                  ctx);
 }
 
 void CacheCluster::WriteToBacking(ControllerId ctrl, PageKey key,
                                   const util::Bytes& data,
-                                  BackingStore::WriteCallback cb) {
+                                  BackingStore::WriteCallback cb,
+                                  obs::TraceContext ctx) {
   BackingStore* vol = volumes_.at(key.volume);
   const std::uint32_t pb = PageBlocks(key.volume);
   const std::uint64_t block = key.page * pb;
@@ -179,14 +183,14 @@ void CacheCluster::WriteToBacking(ControllerId ctrl, PageKey key,
   }
   const std::uint32_t count = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(pb, vol->CapacityBlocks() - block));
-  auto issue = [this, vol, block, count,
+  auto issue = [vol, block, count, ctx,
                 snapshot = util::Bytes(
                     data.begin(),
                     data.begin() + static_cast<std::ptrdiff_t>(
                                        static_cast<std::size_t>(count) *
                                        vol->block_size())),
                 cb = std::move(cb)]() mutable {
-    vol->WriteBlocks(block, snapshot, std::move(cb));
+    vol->WriteBlocks(block, snapshot, std::move(cb), ctx);
   };
   if (config_.fc_ns_per_byte <= 0.0) {
     issue();
@@ -291,7 +295,8 @@ void CacheCluster::FlushAll(WriteCallback cb) {
 // --- Fetch / invalidate / replicate ------------------------------------------
 
 void CacheCluster::FetchCurrent(ControllerId via, PageKey key,
-                                std::function<void(bool, util::Bytes)> cb) {
+                                std::function<void(bool, util::Bytes)> cb,
+                                obs::TraceContext ctx) {
   const ControllerId home = HomeOf(key);
   DirEntry& e = dir_[home][key];
   ControllerId source = kNoController;
@@ -309,30 +314,33 @@ void CacheCluster::FetchCurrent(ControllerId via, PageKey key,
   auto shared_cb = std::make_shared<std::function<void(bool, util::Bytes)>>(
       std::move(cb));
 
-  auto backing_path = [this, via, home, key, shared_cb]() mutable {
-    ReadFromBacking(home, key, [this, via, home, shared_cb](
-                             bool ok, util::Bytes data) mutable {
-      if (!ok) {
-        (*shared_cb)(false, {});
-        return;
-      }
-      const sim::Tick done = ctrls_[home]->compute.AcquireBytes(
-          config_.page_bytes, config_.serve_ns_per_byte);
-      ctrls_[home]->stats.bytes_served += config_.page_bytes;
-      engine_.ScheduleAt(done, [this, via, home, data = std::move(data),
-                                shared_cb]() mutable {
-        if (home == via) {
-          (*shared_cb)(true, std::move(data));
-          return;
-        }
-        auto shared_data = std::make_shared<util::Bytes>(std::move(data));
-        Msg(home, via, config_.page_bytes,
-            [shared_data, shared_cb] {
-              (*shared_cb)(true, std::move(*shared_data));
-            },
-            [shared_cb] { (*shared_cb)(false, {}); });
-      });
-    });
+  auto backing_path = [this, via, home, key, shared_cb, ctx]() mutable {
+    ReadFromBacking(
+        home, key,
+        [this, via, home, shared_cb, ctx](bool ok,
+                                          util::Bytes data) mutable {
+          if (!ok) {
+            (*shared_cb)(false, {});
+            return;
+          }
+          const sim::Tick done = ctrls_[home]->compute.AcquireBytes(
+              config_.page_bytes, config_.serve_ns_per_byte);
+          ctrls_[home]->stats.bytes_served += config_.page_bytes;
+          engine_.ScheduleAt(done, [this, via, home, data = std::move(data),
+                                    shared_cb, ctx]() mutable {
+            if (home == via) {
+              (*shared_cb)(true, std::move(data));
+              return;
+            }
+            auto shared_data = std::make_shared<util::Bytes>(std::move(data));
+            Msg(home, via, config_.page_bytes,
+                [shared_data, shared_cb] {
+                  (*shared_cb)(true, std::move(*shared_data));
+                },
+                [shared_cb] { (*shared_cb)(false, {}); }, ctx);
+          });
+        },
+        ctx);
   };
 
   if (source == kNoController) {
@@ -340,11 +348,16 @@ void CacheCluster::FetchCurrent(ControllerId via, PageKey key,
     return;
   }
 
-  // Control hop home->source, then data hop source->via.
+  // Control hop home->source, then data hop source->via.  A sampled request
+  // gets a coherence-forward span covering both hops plus the source's
+  // data-engine time.
+  const obs::TraceContext fwd =
+      obs::StartSpan(ctx, obs::Layer::kCache, "cache.forward");
   Msg(home, source, config_.ctrl_msg_bytes,
-      [this, via, source, key, shared_cb, backing_path]() mutable {
+      [this, via, source, key, shared_cb, backing_path, fwd]() mutable {
         CacheNode::Frame* f = ctrls_[source]->cache.Find(key);
         if (f == nullptr) {
+          obs::EndSpan(fwd);
           backing_path();  // frame evicted while the request was in flight
           return;
         }
@@ -352,17 +365,29 @@ void CacheCluster::FetchCurrent(ControllerId via, PageKey key,
             config_.page_bytes, config_.serve_ns_per_byte);
         ctrls_[source]->stats.bytes_served += config_.page_bytes;
         auto data = std::make_shared<util::Bytes>(f->data);
-        engine_.ScheduleAt(done, [this, source, via, data, shared_cb] {
+        engine_.ScheduleAt(done, [this, source, via, data, shared_cb, fwd] {
           Msg(source, via, config_.page_bytes,
-              [data, shared_cb] { (*shared_cb)(true, std::move(*data)); },
-              [shared_cb] { (*shared_cb)(false, {}); });
+              [data, shared_cb, fwd] {
+                obs::EndSpan(fwd);
+                (*shared_cb)(true, std::move(*data));
+              },
+              [shared_cb, fwd] {
+                obs::EndSpan(fwd);
+                (*shared_cb)(false, {});
+              },
+              fwd);
         });
       },
-      [shared_cb] { (*shared_cb)(false, {}); });
+      [shared_cb, fwd] {
+        obs::EndSpan(fwd);
+        (*shared_cb)(false, {});
+      },
+      fwd);
 }
 
 void CacheCluster::InvalidateHolders(ControllerId except, PageKey key,
-                                     std::function<void()> done) {
+                                     std::function<void()> done,
+                                     obs::TraceContext ctx) {
   const ControllerId home = HomeOf(key);
   DirEntry& e = dir_[home][key];
   std::vector<ControllerId> holders;
@@ -385,15 +410,15 @@ void CacheCluster::InvalidateHolders(ControllerId except, PageKey key,
 
   for (const ControllerId h : holders) {
     Msg(home, h, config_.ctrl_msg_bytes,
-        [this, h, home, key, join] {
+        [this, h, home, key, join, ctx] {
           // Local invalidation at h.  Deferred while a flush is in flight
           // so the on-disk image never goes backwards in time.
-          std::function<void()> inv = [this, h, home, key, join] {
+          std::function<void()> inv = [this, h, home, key, join, ctx] {
             CacheNode::Frame* f = ctrls_[h]->cache.Find(key);
             if (f != nullptr) {
               FrameExtra& ex = Extra(h, key);
               if (ex.flushing) {
-                ex.flush_waiters.push_back([this, h, home, key, join] {
+                ex.flush_waiters.push_back([this, h, home, key, join, ctx] {
                   // Retry the invalidation after the flush completes.
                   CacheNode::Frame* f2 = ctrls_[h]->cache.Find(key);
                   if (f2 != nullptr) {
@@ -401,7 +426,7 @@ void CacheCluster::InvalidateHolders(ControllerId except, PageKey key,
                   }
                   Msg(h, home, config_.ctrl_msg_bytes,
                       [join] { join->Arrive(true); },
-                      [join] { join->Arrive(true); });
+                      [join] { join->Arrive(true); }, ctx);
                 });
                 return;
               }
@@ -410,11 +435,11 @@ void CacheCluster::InvalidateHolders(ControllerId except, PageKey key,
             ++ctrls_[h]->stats.invalidations_received;
             Msg(h, home, config_.ctrl_msg_bytes,
                 [join] { join->Arrive(true); },
-                [join] { join->Arrive(true); });
+                [join] { join->Arrive(true); }, ctx);
           };
           inv();
         },
-        [join] { join->Arrive(true); });
+        [join] { join->Arrive(true); }, ctx);
   }
 }
 
@@ -440,7 +465,8 @@ void CacheCluster::DropFrameWithReplicas(ControllerId ctrl,
 
 void CacheCluster::ReplicateDirty(ControllerId owner_ctrl, PageKey key,
                                   std::uint32_t replication,
-                                  std::function<void()> done) {
+                                  std::function<void()> done,
+                                  obs::TraceContext ctx) {
   // If an eviction-triggered flush already landed this page, replication
   // would pin copies nobody will ever release — skip it.
   {
@@ -494,16 +520,16 @@ void CacheCluster::ReplicateDirty(ControllerId owner_ctrl, PageKey key,
       [done = std::move(done)](bool) { done(); });
   for (const ControllerId t : targets) {
     Msg(owner_ctrl, t, config_.page_bytes,
-        [this, t, key, owner_ctrl, data, join] {
+        [this, t, key, owner_ctrl, data, join, ctx] {
           CacheNode::Frame& rf = InstallFrame(t, key, *data);
           rf.is_replica = true;
           rf.replica_owner = owner_ctrl;
           rf.dirty = false;
           Msg(t, owner_ctrl, config_.ctrl_msg_bytes,
               [join] { join->Arrive(true); },
-              [join] { join->Arrive(true); });
+              [join] { join->Arrive(true); }, ctx);
         },
-        [join] { join->Arrive(false); });
+        [join] { join->Arrive(false); }, ctx);
   }
 }
 
@@ -511,7 +537,8 @@ void CacheCluster::ReplicateDirty(ControllerId owner_ctrl, PageKey key,
 
 void CacheCluster::HandleGetS(ControllerId via, PageKey key,
                               std::uint8_t priority,
-                              std::function<void(bool, util::Bytes)> cb) {
+                              std::function<void(bool, util::Bytes)> cb,
+                              obs::TraceContext ctx) {
   const ControllerId home = HomeOf(key);
   auto finish = [this, via, home, key, priority, cb = std::move(cb)](
                     bool ok, util::Bytes data) mutable {
@@ -537,17 +564,19 @@ void CacheCluster::HandleGetS(ControllerId via, PageKey key,
         });
     if (someone_has_it) {
       ++ctrls_[via]->stats.remote_hits;
+      obs::Annotate(ctx, "remote_hit");
     } else {
       ++ctrls_[via]->stats.misses;
+      obs::Annotate(ctx, "miss");
     }
   }
-  FetchCurrent(via, key, std::move(finish));
+  FetchCurrent(via, key, std::move(finish), ctx);
 }
 
 void CacheCluster::HandleGetX(ControllerId via, PageKey key,
                               std::uint32_t offset, util::Bytes data,
                               std::uint32_t replication, std::uint8_t priority,
-                              WriteCallback cb) {
+                              WriteCallback cb, obs::TraceContext ctx) {
   const ControllerId home = HomeOf(key);
   const bool full_page =
       offset == 0 && data.size() == config_.page_bytes;
@@ -559,42 +588,47 @@ void CacheCluster::HandleGetX(ControllerId via, PageKey key,
 
   // Step 3 onwards, once we know the page's base content.
   auto apply = [this, via, home, key, offset, data = std::move(data),
-                replication, priority, cb,
+                replication, priority, cb, ctx,
                 fail](util::Bytes base) mutable {
-    InvalidateHolders(via, key,
-                      [this, via, home, key, offset, data = std::move(data),
-                       replication, priority, cb,
-                       base = std::move(base)]() mutable {
-      CacheNode::Frame& f = InstallFrame(via, key, std::move(base));
-      std::memcpy(f.data.data() + offset, data.data(), data.size());
-      f.priority = std::max(f.priority, priority);
-      f.dirty = true;
-      f.is_replica = false;
-      f.replica_owner = kNoController;
-      ++f.dirty_epoch;
-      DirEntry& e = dir_[home][key];
-      e.owner = via;
-      e.sharers.clear();
-      ctrls_[via]->stats.bytes_served += data.size();
-      const sim::Tick done = ctrls_[via]->compute.AcquireBytes(
-          data.size(), config_.serve_ns_per_byte);
-      engine_.ScheduleAt(done, [this, via, home, key, replication, cb] {
-        ReplicateDirty(via, key, replication, [this, via, home, key, cb] {
-          ReleaseEntry(home, key);
-          cb(true);
-          // Write-back: flush after the configured aging delay.  The page
-          // may be re-written or flushed by eviction pressure meanwhile;
-          // FlushPage no-ops if it finds the frame clean.
-          if (config_.flush_delay_ns == 0) {
-            FlushPage(via, key);
-          } else {
-            engine_.Schedule(config_.flush_delay_ns, [this, via, key] {
-              if (ctrls_[via]->alive) FlushPage(via, key);
-            });
-          }
-        });
-      });
-    });
+    InvalidateHolders(
+        via, key,
+        [this, via, home, key, offset, data = std::move(data), replication,
+         priority, cb, ctx, base = std::move(base)]() mutable {
+          CacheNode::Frame& f = InstallFrame(via, key, std::move(base));
+          std::memcpy(f.data.data() + offset, data.data(), data.size());
+          f.priority = std::max(f.priority, priority);
+          f.dirty = true;
+          f.is_replica = false;
+          f.replica_owner = kNoController;
+          ++f.dirty_epoch;
+          DirEntry& e = dir_[home][key];
+          e.owner = via;
+          e.sharers.clear();
+          ctrls_[via]->stats.bytes_served += data.size();
+          const sim::Tick done = ctrls_[via]->compute.AcquireBytes(
+              data.size(), config_.serve_ns_per_byte);
+          engine_.ScheduleAt(done, [this, via, home, key, replication, cb,
+                                    ctx] {
+            ReplicateDirty(
+                via, key, replication,
+                [this, via, home, key, cb] {
+                  ReleaseEntry(home, key);
+                  cb(true);
+                  // Write-back: flush after the configured aging delay.  The
+                  // page may be re-written or flushed by eviction pressure
+                  // meanwhile; FlushPage no-ops if it finds the frame clean.
+                  if (config_.flush_delay_ns == 0) {
+                    FlushPage(via, key);
+                  } else {
+                    engine_.Schedule(config_.flush_delay_ns, [this, via, key] {
+                      if (ctrls_[via]->alive) FlushPage(via, key);
+                    });
+                  }
+                },
+                ctx);
+          });
+        },
+        ctx);
   };
 
   CacheNode::Frame* f_via = ctrls_[via]->cache.Find(key);
@@ -608,14 +642,16 @@ void CacheCluster::HandleGetX(ControllerId via, PageKey key,
     apply(util::Bytes(config_.page_bytes, 0));
     return;
   }
-  FetchCurrent(via, key, [apply = std::move(apply), fail](
-                             bool ok, util::Bytes base) mutable {
-    if (!ok) {
-      fail("fetch");
-      return;
-    }
-    apply(std::move(base));
-  });
+  FetchCurrent(
+      via, key,
+      [apply = std::move(apply), fail](bool ok, util::Bytes base) mutable {
+        if (!ok) {
+          fail("fetch");
+          return;
+        }
+        apply(std::move(base));
+      },
+      ctx);
 }
 
 // --- Page-level API -----------------------------------------------------------
@@ -641,16 +677,22 @@ void CacheCluster::MaybeReadahead(ControllerId via, PageKey key) {
 
 void CacheCluster::ReadPage(ControllerId via, PageKey key,
                             std::function<void(bool, util::Bytes)> cb,
-                            bool demand, std::uint8_t priority) {
+                            bool demand, std::uint8_t priority,
+                            obs::TraceContext ctx) {
   Controller& c = *ctrls_[via];
   if (!c.alive) {
     engine_.Schedule(0, [cb = std::move(cb)] { cb(false, {}); });
     return;
   }
   ++c.stats.ops;
+  // Per-page span: holds the hit/miss classification, ends when the page is
+  // delivered.
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kCache, "cache.page");
   CacheNode::Frame* f = c.cache.Find(key);
   if (f != nullptr) {
     ++c.stats.local_hits;
+    obs::Annotate(span, "local_hit");
     c.stats.bytes_served += config_.page_bytes;
     c.cache.Touch(key);
     f->priority = std::max(f->priority, priority);
@@ -659,8 +701,9 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
         c.compute.AcquireBytes(config_.page_bytes, config_.serve_ns_per_byte);
     const sim::Tick when =
         std::max(compute_done, engine_.now() + config_.local_access_ns);
-    engine_.ScheduleAt(when, [cb = std::move(cb),
+    engine_.ScheduleAt(when, [cb = std::move(cb), span,
                               copy = std::move(copy)]() mutable {
+      obs::EndSpan(span);
       cb(true, std::move(copy));
     });
     return;
@@ -668,23 +711,27 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
   if (demand) MaybeReadahead(via, key);
   const ControllerId home = HomeOf(key);
   auto shared_cb = std::make_shared<std::function<void(bool, util::Bytes)>>(
-      std::move(cb));
+      [span, cb = std::move(cb)](bool ok, util::Bytes data) mutable {
+        obs::EndSpan(span);
+        cb(ok, std::move(data));
+      });
   Msg(via, home, config_.ctrl_msg_bytes,
-      [this, via, home, key, priority, shared_cb] {
-        AcquireEntry(home, key, [this, via, key, priority, shared_cb] {
+      [this, via, home, key, priority, shared_cb, span] {
+        AcquireEntry(home, key, [this, via, key, priority, shared_cb, span] {
           HandleGetS(via, key, priority,
                      [shared_cb](bool ok, util::Bytes data) {
                        (*shared_cb)(ok, std::move(data));
-                     });
+                     },
+                     span);
         });
       },
-      [shared_cb] { (*shared_cb)(false, {}); });
+      [shared_cb] { (*shared_cb)(false, {}); }, span);
 }
 
 void CacheCluster::WritePage(ControllerId via, PageKey key,
                              std::uint32_t offset, util::Bytes data,
                              std::uint32_t replication, std::uint8_t priority,
-                             WriteCallback cb) {
+                             WriteCallback cb, obs::TraceContext ctx) {
   Controller& c = *ctrls_[via];
   if (!c.alive) {
     engine_.Schedule(0, [cb = std::move(cb)] { cb(false); });
@@ -693,27 +740,37 @@ void CacheCluster::WritePage(ControllerId via, PageKey key,
   assert(offset + data.size() <= config_.page_bytes);
   ++c.stats.ops;
   const ControllerId home = HomeOf(key);
-  auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kCache, "cache.page");
+  auto shared_cb = std::make_shared<WriteCallback>(
+      [span, cb = std::move(cb)](bool ok) mutable {
+        obs::EndSpan(span);
+        cb(ok);
+      });
   auto shared_data = std::make_shared<util::Bytes>(std::move(data));
   Msg(via, home, config_.ctrl_msg_bytes,
       [this, via, home, key, offset, replication, priority, shared_cb,
-       shared_data] {
+       shared_data, span] {
         AcquireEntry(home, key,
                      [this, via, key, offset, replication, priority,
-                      shared_cb, shared_data] {
+                      shared_cb, shared_data, span] {
           HandleGetX(via, key, offset, std::move(*shared_data), replication,
-                     priority, [shared_cb](bool ok) { (*shared_cb)(ok); });
+                     priority, [shared_cb](bool ok) { (*shared_cb)(ok); },
+                     span);
         });
       },
-      [shared_cb] { (*shared_cb)(false); });
+      [shared_cb] { (*shared_cb)(false); }, span);
 }
 
 // --- Byte-level API -------------------------------------------------------------
 
 void CacheCluster::Read(ControllerId via, std::uint32_t volume,
                         std::uint64_t offset, std::uint32_t length,
-                        ReadCallback cb, std::uint8_t priority) {
+                        ReadCallback cb, std::uint8_t priority,
+                        obs::TraceContext ctx) {
   assert(length > 0);
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kCache, "cache.read");
   const std::uint32_t pb = config_.page_bytes;
   auto result = std::make_shared<util::Bytes>(length, 0);
   struct Piece {
@@ -737,7 +794,8 @@ void CacheCluster::Read(ControllerId via, std::uint32_t volume,
   }
   auto join = std::make_shared<Join>(
       static_cast<int>(pieces.size()),
-      [result, cb = std::move(cb)](bool ok) {
+      [result, span, cb = std::move(cb)](bool ok) {
+        obs::EndSpan(span);
         cb(ok, ok ? std::move(*result) : util::Bytes{});
       });
   for (const Piece& p : pieces) {
@@ -750,16 +808,16 @@ void CacheCluster::Read(ControllerId via, std::uint32_t volume,
           }
           join->Arrive(ok);
         },
-        /*demand=*/true, priority);
+        /*demand=*/true, priority, span);
   }
 }
 
 void CacheCluster::Write(ControllerId via, std::uint32_t volume,
                          std::uint64_t offset,
                          std::span<const std::uint8_t> data, WriteCallback cb,
-                         std::uint8_t priority) {
+                         std::uint8_t priority, obs::TraceContext ctx) {
   WriteWithReplication(via, volume, offset, data, config_.replication,
-                       std::move(cb), priority);
+                       std::move(cb), priority, ctx);
 }
 
 void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
@@ -767,8 +825,11 @@ void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
                                         std::span<const std::uint8_t> data,
                                         std::uint32_t replication,
                                         WriteCallback cb,
-                                        std::uint8_t priority) {
+                                        std::uint8_t priority,
+                                        obs::TraceContext ctx) {
   assert(!data.empty());
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kCache, "cache.write");
   const std::uint32_t pb = config_.page_bytes;
   struct Piece {
     PageKey key;
@@ -790,13 +851,17 @@ void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
     src += n;
     left -= n;
   }
-  auto join = std::make_shared<Join>(static_cast<int>(pieces.size()),
-                                     std::move(cb));
+  auto join = std::make_shared<Join>(
+      static_cast<int>(pieces.size()),
+      [span, cb = std::move(cb)](bool ok) {
+        obs::EndSpan(span);
+        cb(ok);
+      });
   for (const Piece& p : pieces) {
     util::Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(p.src),
                       data.begin() + static_cast<std::ptrdiff_t>(p.src + p.len));
     WritePage(via, p.key, p.in_page, std::move(chunk), replication, priority,
-              [join](bool ok) { join->Arrive(ok); });
+              [join](bool ok) { join->Arrive(ok); }, span);
   }
 }
 

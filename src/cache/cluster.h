@@ -35,6 +35,7 @@
 #include "cache/node.h"
 #include "cache/types.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
 #include "util/units.h"
@@ -86,10 +87,11 @@ class CacheCluster {
   /// `priority` is the per-file cache retention priority (paper §4):
   /// higher-priority pages are evicted last.
   void Read(ControllerId via, std::uint32_t volume, std::uint64_t offset,
-            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0);
+            std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0,
+            obs::TraceContext ctx = {});
   void Write(ControllerId via, std::uint32_t volume, std::uint64_t offset,
              std::span<const std::uint8_t> data, WriteCallback cb,
-             std::uint8_t priority = 0);
+             std::uint8_t priority = 0, obs::TraceContext ctx = {});
 
   /// Override the replication factor for a single write (per-file policy
   /// support, paper §4): 1 = no peer copies.
@@ -97,7 +99,8 @@ class CacheCluster {
                             std::uint64_t offset,
                             std::span<const std::uint8_t> data,
                             std::uint32_t replication, WriteCallback cb,
-                            std::uint8_t priority = 0);
+                            std::uint8_t priority = 0,
+                            obs::TraceContext ctx = {});
 
   /// Flush every dirty page to backing; cb(true) when clean.
   void FlushAll(WriteCallback cb);
@@ -168,7 +171,8 @@ class CacheCluster {
 
   /// Fabric send between controllers with explicit failure path.
   void Msg(ControllerId from, ControllerId to, std::uint64_t bytes,
-           std::function<void()> delivered, Failure on_drop);
+           std::function<void()> delivered, Failure on_drop,
+           obs::TraceContext ctx = {});
 
   /// Serialize per-page operations through the home directory entry.
   void AcquireEntry(ControllerId home, const PageKey& key,
@@ -182,26 +186,33 @@ class CacheCluster {
 
   // Protocol steps (home side).
   void HandleGetS(ControllerId via, PageKey key, std::uint8_t priority,
-                  std::function<void(bool, util::Bytes)> cb);
+                  std::function<void(bool, util::Bytes)> cb,
+                  obs::TraceContext ctx = {});
   void HandleGetX(ControllerId via, PageKey key, std::uint32_t offset,
                   util::Bytes data, std::uint32_t replication,
-                  std::uint8_t priority, WriteCallback cb);
+                  std::uint8_t priority, WriteCallback cb,
+                  obs::TraceContext ctx = {});
   /// Deliver current page content to `via` from owner/sharer/backing.
   /// Does NOT register `via` anywhere.  cb(false) on unrecoverable miss.
   void FetchCurrent(ControllerId via, PageKey key,
-                    std::function<void(bool, util::Bytes)> cb);
+                    std::function<void(bool, util::Bytes)> cb,
+                    obs::TraceContext ctx = {});
   void InvalidateHolders(ControllerId except, PageKey key,
-                         std::function<void()> done);
+                         std::function<void()> done,
+                         obs::TraceContext ctx = {});
   /// Erase a frame at `ctrl` and unpin any replicas it parked on peers.
   void DropFrameWithReplicas(ControllerId ctrl, const PageKey& key);
   void ReplicateDirty(ControllerId owner_ctrl, PageKey key,
-                      std::uint32_t replication, std::function<void()> done);
+                      std::uint32_t replication, std::function<void()> done,
+                      obs::TraceContext ctx = {});
 
   /// Backing I/O issued by controller `ctrl` (charges its FC feed).
   void ReadFromBacking(ControllerId ctrl, PageKey key,
-                       BackingStore::ReadCallback cb);
+                       BackingStore::ReadCallback cb,
+                       obs::TraceContext ctx = {});
   void WriteToBacking(ControllerId ctrl, PageKey key, const util::Bytes& data,
-                      BackingStore::WriteCallback cb);
+                      BackingStore::WriteCallback cb,
+                      obs::TraceContext ctx = {});
 
   /// Asynchronous write-back of a dirty page.
   void FlushPage(ControllerId ctrl, PageKey key,
@@ -210,12 +221,14 @@ class CacheCluster {
   /// Page-granular entry points used by Read/Write.
   void ReadPage(ControllerId via, PageKey key,
                 std::function<void(bool, util::Bytes)> cb,
-                bool demand = true, std::uint8_t priority = 0);
+                bool demand = true, std::uint8_t priority = 0,
+                obs::TraceContext ctx = {});
   /// Kick sequential readahead after a demand miss on `key`.
   void MaybeReadahead(ControllerId via, PageKey key);
   void WritePage(ControllerId via, PageKey key, std::uint32_t offset,
                  util::Bytes data, std::uint32_t replication,
-                 std::uint8_t priority, WriteCallback cb);
+                 std::uint8_t priority, WriteCallback cb,
+                 obs::TraceContext ctx = {});
 
   FrameExtra& Extra(ControllerId ctrl, const PageKey& key);
   void EraseExtra(ControllerId ctrl, const PageKey& key);

@@ -138,14 +138,111 @@ void StorageSystem::AttachQos(qos::Scheduler* qos) {
   }
 }
 
+void StorageSystem::AttachObs(obs::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    reads_total_ = writes_total_ = io_failures_total_ = nullptr;
+    read_latency_ns_ = write_latency_ns_ = nullptr;
+    return;
+  }
+  obs::Registry& m = hub_->metrics();
+  reads_total_ = &m.counter("nlss_controller_reads_total",
+                            "Host/blade read requests entered");
+  writes_total_ = &m.counter("nlss_controller_writes_total",
+                             "Host/blade write requests entered");
+  io_failures_total_ = &m.counter("nlss_controller_io_failures_total",
+                                  "Requests that completed with an error");
+  read_latency_ns_ = &m.histogram("nlss_controller_read_latency_ns",
+                                  "End-to-end read latency incl. retries");
+  write_latency_ns_ = &m.histogram("nlss_controller_write_latency_ns",
+                                   "End-to-end write latency incl. retries");
+  // Pull-gauges bridging the existing per-module stats structs; values are
+  // read at render time so no double bookkeeping happens on the hot path.
+  m.AddCallback("nlss_cache_ops_total", "Cache page operations",
+                [this] { return double(cache_->Totals().ops); });
+  m.AddCallback("nlss_cache_local_hits_total", "Pages served from local cache",
+                [this] { return double(cache_->Totals().local_hits); });
+  m.AddCallback("nlss_cache_remote_hits_total",
+                "Pages forwarded from a peer cache",
+                [this] { return double(cache_->Totals().remote_hits); });
+  m.AddCallback("nlss_cache_misses_total", "Pages read from backing store",
+                [this] { return double(cache_->Totals().misses); });
+  m.AddCallback("nlss_cache_bytes_served_total", "Bytes served by the cache",
+                [this] { return double(cache_->Totals().bytes_served); });
+  m.AddCallback("nlss_cache_flushes_total", "Dirty-page write-backs",
+                [this] { return double(cache_->Totals().flushes); });
+  m.AddCallback("nlss_cache_evictions_total", "Frames evicted",
+                [this] { return double(cache_->Totals().evictions); });
+  m.AddCallback("nlss_cache_dirty_pages", "Dirty pages currently cached",
+                [this] { return double(cache_->DirtyPages()); });
+  m.AddCallback("nlss_cache_cached_pages", "Pages currently cached",
+                [this] { return double(cache_->CachedPages()); });
+  m.AddCallback("nlss_fabric_bytes_carried_total",
+                "Bytes carried by all fabric links",
+                [this] { return double(fabric_.TotalBytesCarried()); });
+  m.AddCallback("nlss_fabric_dropped_total",
+                "Messages dropped (down node/link, no handler)",
+                [this] { return double(fabric_.dropped()); });
+  m.AddCallback("nlss_qos_ops_total", "Ops completed through QoS admission",
+                [this] {
+                  if (qos_ == nullptr) return 0.0;
+                  double n = 0;
+                  for (const auto& [t, s] : qos_->slo().all()) n += double(s.ops);
+                  return n;
+                });
+  m.AddCallback("nlss_qos_rejected_total", "Admission-control rejections",
+                [this] {
+                  if (qos_ == nullptr) return 0.0;
+                  double n = 0;
+                  for (const auto& [t, s] : qos_->slo().all()) {
+                    n += double(s.rejected);
+                  }
+                  return n;
+                });
+}
+
+obs::TraceContext StorageSystem::StartOp(obs::TraceContext ctx,
+                                         const char* name, VolumeId vol,
+                                         bool* root) {
+  *root = false;
+  const std::string tenant =
+      vol < volumes_.size() ? volumes_[vol]->tenant() : std::string();
+  if (ctx.sampled()) {
+    ctx = obs::StartSpan(ctx, obs::Layer::kController, name);
+    if (!tenant.empty()) ctx.tracer->SetTenant(ctx, tenant);
+    return ctx;
+  }
+  if (hub_ == nullptr) return {};
+  ctx = hub_->tracer().StartTrace(obs::Layer::kController, name, tenant);
+  *root = ctx.sampled();
+  return ctx;
+}
+
 void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
                          std::uint32_t length, ReadCallback cb,
-                         std::uint8_t priority, qos::TenantId tenant) {
+                         std::uint8_t priority, qos::TenantId tenant,
+                         obs::TraceContext ctx) {
+  if (reads_total_ != nullptr) reads_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.read", vol, &root);
+  const sim::Tick t0 = engine_.now();
   // Host-driver multipathing: re-issue via another blade on failure.
   auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
-  auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
+  auto shared_cb = std::make_shared<ReadCallback>(
+      [this, t0, ctx, root, cb = std::move(cb)](bool ok, util::Bytes data) {
+        if (read_latency_ns_ != nullptr) {
+          read_latency_ns_->Record(engine_.now() - t0);
+          if (!ok) io_failures_total_->Increment();
+        }
+        if (root) {
+          ctx.tracer->EndTrace(ctx, ok);
+        } else {
+          obs::EndSpan(ctx);
+        }
+        cb(ok, std::move(data));
+      });
   *attempt = [this, host, vol, offset, length, priority, tenant, shared_cb,
-              attempt](std::uint32_t retries_left) {
+              attempt, ctx](std::uint32_t retries_left) {
     ReadOnce(host, vol, offset, length, priority, tenant,
              [this, shared_cb, attempt, retries_left](bool ok,
                                                       util::Bytes data) {
@@ -157,7 +254,8 @@ void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
                                 [attempt, retries_left] {
                                   (*attempt)(retries_left - 1);
                                 });
-             });
+             },
+             ctx);
   };
   (*attempt)(config_.io_retries);
 }
@@ -165,21 +263,23 @@ void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
 void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
                              std::uint64_t offset, std::uint32_t length,
                              std::uint8_t priority, qos::TenantId tenant,
-                             ReadCallback cb) {
+                             ReadCallback cb, obs::TraceContext ctx) {
   const cache::ControllerId ctrl = PickController(vol);
   auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
   // The blade attempt, parameterized on the QoS completion hook (`done` is
   // a no-op when no scheduler is attached).
-  auto issue = [this, host, ctrl, vol, offset, length, priority,
-                shared_cb](std::function<void(bool)> done) {
+  auto issue = [this, host, ctrl, vol, offset, length, priority, shared_cb,
+                ctx](std::function<void(bool)> done) {
     ++outstanding_[ctrl];
     // Request command to the blade (small), response data to the host.
     fabric_.Send(
         host, controller_nodes_[ctrl], config_.cache.ctrl_msg_bytes,
-        [this, host, ctrl, vol, offset, length, priority, shared_cb, done] {
+        [this, host, ctrl, vol, offset, length, priority, shared_cb, done,
+         ctx] {
           cache_->Read(
               ctrl, vol, offset, length,
-              [this, host, ctrl, shared_cb, done](bool ok, util::Bytes data) {
+              [this, host, ctrl, shared_cb, done, ctx](bool ok,
+                                                       util::Bytes data) {
                 --outstanding_[ctrl];
                 if (!ok) {
                   done(false);
@@ -196,19 +296,21 @@ void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
                     [shared_cb, done] {
                       done(false);
                       (*shared_cb)(false, {});
-                    });
+                    },
+                    ctx);
               },
-              priority);
+              priority, ctx);
         },
         [this, ctrl, shared_cb, done] {
           --outstanding_[ctrl];
           done(false);
           (*shared_cb)(false, {});
-        });
+        },
+        ctx);
   };
   if (qos_ != nullptr) {
     if (!qos_->Submit(ctrl, ResolveTenant(vol, tenant), length,
-                      std::move(issue))) {
+                      std::move(issue), ctx)) {
       // Admission rejected (backpressure): fail the attempt; the multipath
       // retry loop re-submits after retry_delay_ns.
       engine_.Schedule(0, [shared_cb] { (*shared_cb)(false, {}); });
@@ -220,9 +322,9 @@ void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
 
 void StorageSystem::Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
                           std::span<const std::uint8_t> data, WriteCallback cb,
-                          qos::TenantId tenant) {
+                          qos::TenantId tenant, obs::TraceContext ctx) {
   WriteReplicated(host, vol, offset, data, config_.cache.replication,
-                  std::move(cb), 0, tenant);
+                  std::move(cb), 0, tenant, ctx);
 }
 
 void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
@@ -230,12 +332,29 @@ void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
                                     std::span<const std::uint8_t> data,
                                     std::uint32_t replication,
                                     WriteCallback cb, std::uint8_t priority,
-                                    qos::TenantId tenant) {
+                                    qos::TenantId tenant,
+                                    obs::TraceContext ctx) {
+  if (writes_total_ != nullptr) writes_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.write", vol, &root);
+  const sim::Tick t0 = engine_.now();
   auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
   auto attempt = std::make_shared<std::function<void(std::uint32_t)>>();
-  auto outer_cb = std::make_shared<WriteCallback>(std::move(cb));
+  auto outer_cb = std::make_shared<WriteCallback>(
+      [this, t0, ctx, root, cb = std::move(cb)](bool ok) {
+        if (write_latency_ns_ != nullptr) {
+          write_latency_ns_->Record(engine_.now() - t0);
+          if (!ok) io_failures_total_->Increment();
+        }
+        if (root) {
+          ctx.tracer->EndTrace(ctx, ok);
+        } else {
+          obs::EndSpan(ctx);
+        }
+        cb(ok);
+      });
   *attempt = [this, host, vol, offset, payload, replication, priority, tenant,
-              outer_cb, attempt](std::uint32_t retries_left) {
+              outer_cb, attempt, ctx](std::uint32_t retries_left) {
     WriteOnce(host, vol, offset, payload, replication, priority, tenant,
               [this, outer_cb, attempt, retries_left](bool ok) {
                 if (ok || retries_left == 0) {
@@ -246,7 +365,8 @@ void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
                                  [attempt, retries_left] {
                                    (*attempt)(retries_left - 1);
                                  });
-              });
+              },
+              ctx);
   };
   (*attempt)(config_.io_retries);
 }
@@ -255,20 +375,21 @@ void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
                               std::uint64_t offset,
                               std::shared_ptr<util::Bytes> payload,
                               std::uint32_t replication, std::uint8_t priority,
-                              qos::TenantId tenant, WriteCallback cb) {
+                              qos::TenantId tenant, WriteCallback cb,
+                              obs::TraceContext ctx) {
   const cache::ControllerId ctrl = PickController(vol);
   auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
   auto issue = [this, host, ctrl, vol, offset, replication, priority, payload,
-                shared_cb](std::function<void(bool)> done) {
+                shared_cb, ctx](std::function<void(bool)> done) {
     ++outstanding_[ctrl];
     // Data travels host -> blade, then the ack returns blade -> host.
     fabric_.Send(
         host, controller_nodes_[ctrl], payload->size(),
         [this, host, ctrl, vol, offset, replication, priority, payload,
-         shared_cb, done] {
+         shared_cb, done, ctx] {
           cache_->WriteWithReplication(
               ctrl, vol, offset, *payload, replication,
-              [this, host, ctrl, shared_cb, done](bool ok) {
+              [this, host, ctrl, shared_cb, done, ctx](bool ok) {
                 --outstanding_[ctrl];
                 if (!ok) {
                   done(false);
@@ -285,19 +406,21 @@ void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
                     [shared_cb, done] {
                       done(false);
                       (*shared_cb)(false);
-                    });
+                    },
+                    ctx);
               },
-              priority);
+              priority, ctx);
         },
         [this, ctrl, shared_cb, done] {
           --outstanding_[ctrl];
           done(false);
           (*shared_cb)(false);
-        });
+        },
+        ctx);
   };
   if (qos_ != nullptr) {
     if (!qos_->Submit(ctrl, ResolveTenant(vol, tenant), payload->size(),
-                      std::move(issue))) {
+                      std::move(issue), ctx)) {
       engine_.Schedule(0, [shared_cb] { (*shared_cb)(false); });
     }
     return;
@@ -308,21 +431,37 @@ void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
 void StorageSystem::BladeRead(cache::ControllerId via, VolumeId vol,
                               std::uint64_t offset, std::uint32_t length,
                               std::uint8_t priority, qos::TenantId tenant,
-                              ReadCallback cb) {
-  auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
-  auto issue = [this, via, vol, offset, length, priority,
-                shared_cb](std::function<void(bool)> done) {
+                              ReadCallback cb, obs::TraceContext ctx) {
+  if (reads_total_ != nullptr) reads_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.read", vol, &root);
+  const sim::Tick t0 = engine_.now();
+  auto shared_cb = std::make_shared<ReadCallback>(
+      [this, t0, ctx, root, cb = std::move(cb)](bool ok, util::Bytes data) {
+        if (read_latency_ns_ != nullptr) {
+          read_latency_ns_->Record(engine_.now() - t0);
+          if (!ok) io_failures_total_->Increment();
+        }
+        if (root) {
+          ctx.tracer->EndTrace(ctx, ok);
+        } else {
+          obs::EndSpan(ctx);
+        }
+        cb(ok, std::move(data));
+      });
+  auto issue = [this, via, vol, offset, length, priority, shared_cb,
+                ctx](std::function<void(bool)> done) {
     cache_->Read(
         via, vol, offset, length,
         [shared_cb, done](bool ok, util::Bytes data) {
           done(ok);
           (*shared_cb)(ok, std::move(data));
         },
-        priority);
+        priority, ctx);
   };
   if (qos_ != nullptr) {
     if (!qos_->Submit(via, ResolveTenant(vol, tenant), length,
-                      std::move(issue))) {
+                      std::move(issue), ctx)) {
       engine_.Schedule(0, [shared_cb] { (*shared_cb)(false, {}); });
     }
     return;
@@ -335,23 +474,39 @@ void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
                                std::span<const std::uint8_t> data,
                                std::uint32_t replication,
                                std::uint8_t priority, qos::TenantId tenant,
-                               WriteCallback cb) {
+                               WriteCallback cb, obs::TraceContext ctx) {
+  if (writes_total_ != nullptr) writes_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.write", vol, &root);
+  const sim::Tick t0 = engine_.now();
   // Own the payload: dispatch may be deferred past the caller's buffer.
   auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
-  auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
+  auto shared_cb = std::make_shared<WriteCallback>(
+      [this, t0, ctx, root, cb = std::move(cb)](bool ok) {
+        if (write_latency_ns_ != nullptr) {
+          write_latency_ns_->Record(engine_.now() - t0);
+          if (!ok) io_failures_total_->Increment();
+        }
+        if (root) {
+          ctx.tracer->EndTrace(ctx, ok);
+        } else {
+          obs::EndSpan(ctx);
+        }
+        cb(ok);
+      });
   auto issue = [this, via, vol, offset, replication, priority, payload,
-                shared_cb](std::function<void(bool)> done) {
+                shared_cb, ctx](std::function<void(bool)> done) {
     cache_->WriteWithReplication(
         via, vol, offset, *payload, replication,
         [shared_cb, done](bool ok) {
           done(ok);
           (*shared_cb)(ok);
         },
-        priority);
+        priority, ctx);
   };
   if (qos_ != nullptr) {
     if (!qos_->Submit(via, ResolveTenant(vol, tenant), payload->size(),
-                      std::move(issue))) {
+                      std::move(issue), ctx)) {
       engine_.Schedule(0, [shared_cb] { (*shared_cb)(false); });
     }
     return;

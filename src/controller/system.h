@@ -22,6 +22,7 @@
 #include "cache/cluster.h"
 #include "disk/disk.h"
 #include "net/fabric.h"
+#include "obs/hub.h"
 #include "qos/scheduler.h"
 #include "raid/group.h"
 #include "raid/rebuild.h"
@@ -90,12 +91,16 @@ class StorageSystem {
   /// `priority` is the cache retention priority (per-file policy, §4).
   /// `tenant` attributes the request for QoS scheduling; kAutoTenant
   /// resolves via the volume binding when a scheduler is attached.
+  /// An unsampled `ctx` with an attached obs::Hub starts a new root trace
+  /// here; a sampled one (protocol layer started it) gets a child span.
   void Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
             std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0,
-            qos::TenantId tenant = qos::kAutoTenant);
+            qos::TenantId tenant = qos::kAutoTenant,
+            obs::TraceContext ctx = {});
   void Write(net::NodeId host, VolumeId vol, std::uint64_t offset,
              std::span<const std::uint8_t> data, WriteCallback cb,
-             qos::TenantId tenant = qos::kAutoTenant);
+             qos::TenantId tenant = qos::kAutoTenant,
+             obs::TraceContext ctx = {});
 
   /// Same, with per-request replication/priority overrides (per-file
   /// policies).
@@ -103,18 +108,21 @@ class StorageSystem {
                        std::span<const std::uint8_t> data,
                        std::uint32_t replication, WriteCallback cb,
                        std::uint8_t priority = 0,
-                       qos::TenantId tenant = qos::kAutoTenant);
+                       qos::TenantId tenant = qos::kAutoTenant,
+                       obs::TraceContext ctx = {});
 
   /// Controller-local cached I/O (no host fabric legs): the entry the
   /// parallel file system uses once it has picked a blade.  Rides the same
   /// QoS admission path as host I/O.
   void BladeRead(cache::ControllerId via, VolumeId vol, std::uint64_t offset,
                  std::uint32_t length, std::uint8_t priority,
-                 qos::TenantId tenant, ReadCallback cb);
+                 qos::TenantId tenant, ReadCallback cb,
+                 obs::TraceContext ctx = {});
   void BladeWrite(cache::ControllerId via, VolumeId vol, std::uint64_t offset,
                   std::span<const std::uint8_t> data,
                   std::uint32_t replication, std::uint8_t priority,
-                  qos::TenantId tenant, WriteCallback cb);
+                  qos::TenantId tenant, WriteCallback cb,
+                  obs::TraceContext ctx = {});
 
   /// Expose blade selection for components (streaming, protocols).
   cache::ControllerId PickController(VolumeId vol);
@@ -125,6 +133,13 @@ class StorageSystem {
   /// Pass nullptr to detach (I/O reverts to FIFO admission).
   void AttachQos(qos::Scheduler* qos);
   qos::Scheduler* qos() const { return qos_; }
+
+  // --- Observability -----------------------------------------------------------
+  /// Attach a tracing + metrics hub.  Registers callback gauges bridging
+  /// the cache/fabric/QoS stats and starts tracing host I/O (per the hub's
+  /// sampling config).  Pass nullptr to detach.
+  void AttachObs(obs::Hub* hub);
+  obs::Hub* obs_hub() const { return hub_; }
 
   // --- Failure / maintenance ------------------------------------------------------
   void FailController(std::uint32_t i);
@@ -159,13 +174,19 @@ class StorageSystem {
   /// the host-driver multipath retry loop.
   void ReadOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
                 std::uint32_t length, std::uint8_t priority,
-                qos::TenantId tenant, ReadCallback cb);
+                qos::TenantId tenant, ReadCallback cb,
+                obs::TraceContext ctx = {});
   void WriteOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
                  std::shared_ptr<util::Bytes> payload,
                  std::uint32_t replication, std::uint8_t priority,
-                 qos::TenantId tenant, WriteCallback cb);
+                 qos::TenantId tenant, WriteCallback cb,
+                 obs::TraceContext ctx = {});
   /// Map a request to its QoS tenant (explicit id, else volume binding).
   qos::TenantId ResolveTenant(VolumeId vol, qos::TenantId hint) const;
+  /// Root-or-child span entry: starts a trace when `ctx` is inert and a hub
+  /// is attached; otherwise opens a controller child span.  Sets *root.
+  obs::TraceContext StartOp(obs::TraceContext ctx, const char* name,
+                            VolumeId vol, bool* root);
   sim::Engine& engine_;
   net::Fabric& fabric_;
   SystemConfig config_;
@@ -182,6 +203,13 @@ class StorageSystem {
   std::uint32_t rr_next_ = 0;
   std::vector<std::uint32_t> outstanding_;
   qos::Scheduler* qos_ = nullptr;
+  obs::Hub* hub_ = nullptr;
+  // Hot-path instruments (owned by the hub's registry; null when detached).
+  obs::Counter* reads_total_ = nullptr;
+  obs::Counter* writes_total_ = nullptr;
+  obs::Counter* io_failures_total_ = nullptr;
+  util::Histogram* read_latency_ns_ = nullptr;
+  util::Histogram* write_latency_ns_ = nullptr;
 };
 
 }  // namespace nlss::controller

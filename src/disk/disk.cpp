@@ -75,7 +75,8 @@ sim::Tick Disk::ScheduleService(std::uint64_t lba, std::uint64_t bytes) {
   return busy_until_;
 }
 
-void Disk::Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb) {
+void Disk::Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb,
+                obs::TraceContext ctx) {
   assert(lba + count <= profile_.capacity_blocks);
   if (failed_) {
     engine_.Schedule(0, [cb = std::move(cb)] { cb(false, {}); });
@@ -86,7 +87,10 @@ void Disk::Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb) {
   const sim::Tick done = ScheduleService(lba, bytes);
   stats_.reads += 1;
   stats_.bytes_read += bytes;
-  engine_.ScheduleAt(done, [this, lba, count, cb = std::move(cb)] {
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kDisk, "disk.read");
+  engine_.ScheduleAt(done, [this, lba, count, span, cb = std::move(cb)] {
+    obs::EndSpan(span);
     if (failed_) {
       cb(false, {});
     } else {
@@ -96,7 +100,7 @@ void Disk::Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb) {
 }
 
 void Disk::Write(std::uint64_t lba, std::span<const std::uint8_t> data,
-                 WriteCallback cb) {
+                 WriteCallback cb, obs::TraceContext ctx) {
   assert(data.size() % profile_.block_size == 0);
   assert(lba + data.size() / profile_.block_size <= profile_.capacity_blocks);
   if (failed_) {
@@ -106,11 +110,14 @@ void Disk::Write(std::uint64_t lba, std::span<const std::uint8_t> data,
   const sim::Tick done = ScheduleService(lba, data.size());
   stats_.writes += 1;
   stats_.bytes_written += data.size();
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kDisk, "disk.write");
   // Data is captured by value: the caller's buffer may be reused before the
   // simulated write completes.
   util::Bytes copy(data.begin(), data.end());
-  engine_.ScheduleAt(done, [this, lba, copy = std::move(copy),
+  engine_.ScheduleAt(done, [this, lba, copy = std::move(copy), span,
                             cb = std::move(cb)] {
+    obs::EndSpan(span);
     if (failed_) {
       cb(false);
     } else {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
 #include "util/units.h"
@@ -77,11 +78,14 @@ class Disk {
   Disk(sim::Engine& engine, DiskProfile profile, std::string name);
 
   /// Asynchronous block read; callback fires at simulated completion time.
-  void Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb);
+  /// A sampled `ctx` gets a disk-layer span covering FIFO queueing plus
+  /// mechanical service.
+  void Read(std::uint64_t lba, std::uint32_t count, ReadCallback cb,
+            obs::TraceContext ctx = {});
 
   /// Asynchronous block write.
   void Write(std::uint64_t lba, std::span<const std::uint8_t> data,
-             WriteCallback cb);
+             WriteCallback cb, obs::TraceContext ctx = {});
 
   /// Discard blocks; immediate (metadata-only) in this model.
   void Trim(std::uint64_t lba, std::uint32_t count);

@@ -213,7 +213,8 @@ Status FileSystem::EnsureChunks(Inode& inode, std::uint64_t end_offset) {
 }
 
 void FileSystem::Write(const std::string& path, std::uint64_t offset,
-                       std::span<const std::uint8_t> data, WriteCallback cb) {
+                       std::span<const std::uint8_t> data, WriteCallback cb,
+                       obs::TraceContext ctx) {
   Resolved r = Resolve(path);
   if (r.node == nullptr) {
     system_.engine().Schedule(0, [cb = std::move(cb)] {
@@ -271,12 +272,13 @@ void FileSystem::Write(const std::string& path, std::uint64_t offset,
     system_.BladeWrite(
         via, volume_, p.vol_offset,
         std::span<const std::uint8_t>(data.data() + p.src, p.len), replication,
-        priority, tenant, [join](bool ok) { join->Arrive(ok); });
+        priority, tenant, [join](bool ok) { join->Arrive(ok); }, ctx);
   }
 }
 
 void FileSystem::Read(const std::string& path, std::uint64_t offset,
-                      std::uint64_t length, ReadCallback cb) {
+                      std::uint64_t length, ReadCallback cb,
+                      obs::TraceContext ctx) {
   Resolved r = Resolve(path);
   if (r.node == nullptr) {
     system_.engine().Schedule(0, [cb = std::move(cb)] {
@@ -337,7 +339,8 @@ void FileSystem::Read(const std::string& path, std::uint64_t offset,
                       result->begin() + static_cast<std::ptrdiff_t>(p.out));
           }
           join->Arrive(ok);
-        });
+        },
+        ctx);
   }
 }
 

@@ -102,9 +102,11 @@ class FileSystem {
   /// Write (extending the file as needed).  Replication factor comes from
   /// the file's policy.
   void Write(const std::string& path, std::uint64_t offset,
-             std::span<const std::uint8_t> data, WriteCallback cb);
+             std::span<const std::uint8_t> data, WriteCallback cb,
+             obs::TraceContext ctx = {});
   void Read(const std::string& path, std::uint64_t offset,
-            std::uint64_t length, ReadCallback cb);
+            std::uint64_t length, ReadCallback cb,
+            obs::TraceContext ctx = {});
   void Truncate(const std::string& path, std::uint64_t new_size,
                 WriteCallback cb);
 

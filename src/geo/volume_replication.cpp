@@ -20,16 +20,17 @@ ReplicatedBacking::ReplicatedBacking(sim::Engine& engine, net::Fabric& fabric,
       config_(config) {}
 
 void ReplicatedBacking::ReadBlocks(std::uint64_t block, std::uint32_t count,
-                                   ReadCallback cb) {
-  local_.ReadBlocks(block, count, std::move(cb));
+                                   ReadCallback cb, obs::TraceContext ctx) {
+  local_.ReadBlocks(block, count, std::move(cb), ctx);
 }
 
 void ReplicatedBacking::WriteBlocks(std::uint64_t block,
                                     std::span<const std::uint8_t> data,
-                                    WriteCallback cb) {
+                                    WriteCallback cb, obs::TraceContext ctx) {
   if (config_.synchronous) {
     // Local and remote writes in parallel; ack after both (one WAN round
-    // trip dominates).
+    // trip dominates).  The remote leg gets a geo-layer span so the WAN
+    // round trip is attributed to this layer in trace breakdowns.
     auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
     auto remaining = std::make_shared<int>(2);
     auto all_ok = std::make_shared<bool>(true);
@@ -37,26 +38,37 @@ void ReplicatedBacking::WriteBlocks(std::uint64_t block,
       *all_ok = *all_ok && ok;
       if (--*remaining == 0) (*shared_cb)(*all_ok);
     };
-    local_.WriteBlocks(block, data, arrive);
+    local_.WriteBlocks(block, data, arrive, ctx);
+    const obs::TraceContext geo_span =
+        obs::StartSpan(ctx, obs::Layer::kGeo, "geo.remote_write");
+    auto remote_arrive = [geo_span, arrive](bool ok) {
+      obs::EndSpan(geo_span);
+      arrive(ok);
+    };
     auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
     fabric_.Send(
         local_gw_, remote_gw_, payload->size(),
-        [this, block, payload, arrive] {
-          remote_.WriteBlocks(block, *payload, [this, arrive](bool ok) {
-            ++replicated_writes_;
-            // Remote ack crosses back.
-            fabric_.Send(remote_gw_, local_gw_, config_.ctrl_msg_bytes,
-                         [arrive, ok] { arrive(ok); },
-                         [arrive] { arrive(false); });
-          });
+        [this, block, payload, remote_arrive, geo_span] {
+          remote_.WriteBlocks(
+              block, *payload,
+              [this, remote_arrive, geo_span](bool ok) {
+                ++replicated_writes_;
+                // Remote ack crosses back.
+                fabric_.Send(
+                    remote_gw_, local_gw_, config_.ctrl_msg_bytes,
+                    [remote_arrive, ok] { remote_arrive(ok); },
+                    [remote_arrive] { remote_arrive(false); }, geo_span);
+              },
+              geo_span);
         },
-        [arrive] { arrive(false); });
+        [remote_arrive] { remote_arrive(false); }, geo_span);
     return;
   }
-  // Asynchronous: ack after the local write; queue the remote copy.
+  // Asynchronous: ack after the local write; queue the remote copy (the
+  // queue outlives the request, so the shipped copy is untraced).
   queue_.push_back(Update{block, util::Bytes(data.begin(), data.end())});
   pending_bytes_ += data.size();
-  local_.WriteBlocks(block, data, std::move(cb));
+  local_.WriteBlocks(block, data, std::move(cb), ctx);
   if (!pumping_) {
     pumping_ = true;
     Pump();

@@ -38,10 +38,10 @@ class ReplicatedBacking final : public cache::BackingStore {
                     cache::BackingStore& remote, net::NodeId remote_gateway,
                     Config config);
 
-  void ReadBlocks(std::uint64_t block, std::uint32_t count,
-                  ReadCallback cb) override;
+  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext ctx = {}) override;
   void WriteBlocks(std::uint64_t block, std::span<const std::uint8_t> data,
-                   WriteCallback cb) override;
+                   WriteCallback cb, obs::TraceContext ctx = {}) override;
   std::uint64_t CapacityBlocks() const override {
     return local_.CapacityBlocks();
   }

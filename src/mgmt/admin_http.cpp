@@ -112,6 +112,22 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
     w.EndArray();
     return Json(200, w.str());
   }
+  if (path == "/metrics") {
+    if (hub_ == nullptr) return Json(404, "{\"error\":\"no obs hub\"}");
+    // Prometheus text exposition format, not JSON.
+    proto::HttpResponse r;
+    r.status = 200;
+    r.reason = "OK";
+    const std::string text = hub_->metrics().PrometheusText();
+    r.body.assign(text.begin(), text.end());
+    r.content_length = r.body.size();
+    r.headers = "Content-Type: text/plain; version=0.0.4\r\n";
+    return r;
+  }
+  if (path == "/traces") {
+    if (hub_ == nullptr) return Json(404, "{\"error\":\"no obs hub\"}");
+    return Traces(query);
+  }
   if (path == "/audit") {
     JsonWriter w;
     w.BeginObject();
@@ -199,6 +215,65 @@ proto::HttpResponse AdminHttp::QosSetWeight(const std::string& query) {
   w.Field("ok", true);
   w.Field("class", cls_it->second);
   w.Field("weight", static_cast<std::uint64_t>(weight));
+  w.EndObject();
+  return Json(200, w.str());
+}
+
+proto::HttpResponse AdminHttp::Traces(const std::string& query) const {
+  const auto params = ParseQuery(query);
+  std::string tenant;
+  if (const auto it = params.find("tenant"); it != params.end()) {
+    tenant = it->second;
+  }
+  std::uint64_t min_us = 0;
+  if (const auto it = params.find("min_us"); it != params.end()) {
+    const auto& v = it->second;
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), min_us);
+    if (ec != std::errc() || ptr != v.data() + v.size()) {
+      return Json(400, "{\"error\":\"invalid min_us\"}");
+    }
+  }
+
+  const obs::Tracer& tracer = hub_->tracer();
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("started", tracer.started());
+  w.Field("sampled", tracer.sampled());
+  w.Field("finished", tracer.finished());
+  w.Key("traces").BeginArray();
+  for (const obs::FinishedTrace& t : tracer.slowest()) {
+    if (!tenant.empty() && t.tenant != tenant) continue;
+    if (t.duration() < min_us * 1000) continue;
+    w.BeginObject();
+    w.Field("id", t.id);
+    w.Field("name", t.name);
+    w.Field("tenant", t.tenant);
+    w.Field("ok", t.ok);
+    w.Field("start_ns", t.start);
+    w.Field("duration_ns", t.duration());
+    w.Key("breakdown_ns").BeginObject();
+    for (int l = 0; l < obs::kLayerCount; ++l) {
+      const auto layer = static_cast<obs::Layer>(l);
+      w.Field(obs::LayerName(layer), t.breakdown.of(layer));
+    }
+    w.EndObject();
+    w.Key("spans").BeginArray();
+    for (const obs::Span& s : t.spans) {
+      w.BeginObject();
+      w.Field("id", s.id);
+      w.Field("parent", s.parent);
+      w.Field("layer", obs::LayerName(s.layer));
+      w.Field("name", s.name);
+      if (!s.note.empty()) w.Field("note", s.note);
+      w.Field("start_ns", s.start);
+      w.Field("end_ns", s.end);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return Json(200, w.str());
 }

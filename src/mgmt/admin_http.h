@@ -11,6 +11,9 @@
 //   GET /qos             per-tenant SLO snapshot + class specs (attached)
 //   GET /qos/weight?class=<gold|silver|bronze>&weight=<n>
 //                        runtime WFQ weight reconfiguration
+//   GET /metrics         Prometheus text exposition (obs hub attached)
+//   GET /traces?tenant=<name>&min_us=<n>
+//                        slowest retained traces with per-layer breakdowns
 #pragma once
 
 #include <optional>
@@ -34,6 +37,7 @@ class AdminHttp {
 
   void AttachGeo(geo::GeoCluster* geo) { geo_ = geo; }
   void AttachQos(qos::Scheduler* qos) { qos_ = qos; }
+  void AttachObs(obs::Hub* hub) { hub_ = hub; }
 
   /// Handle "GET <path> HTTP/1.0" with an auth token header line
   /// "Authorization: <token>".  Admin role required.
@@ -44,6 +48,7 @@ class AdminHttp {
   std::optional<std::string> Authenticate(const std::string& raw) const;
   proto::HttpResponse QosReport() const;
   proto::HttpResponse QosSetWeight(const std::string& query);
+  proto::HttpResponse Traces(const std::string& query) const;
 
   controller::StorageSystem& system_;
   security::AuthService& auth_;
@@ -51,6 +56,7 @@ class AdminHttp {
   security::AuditLog& audit_;
   geo::GeoCluster* geo_ = nullptr;
   qos::Scheduler* qos_ = nullptr;
+  obs::Hub* hub_ = nullptr;
 };
 
 }  // namespace nlss::mgmt

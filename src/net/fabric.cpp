@@ -130,12 +130,29 @@ std::size_t Fabric::HopCount(NodeId src, NodeId dst) {
 
 void Fabric::Send(NodeId src, NodeId dst, std::uint64_t bytes,
                   sim::Engine::Callback on_delivered,
-                  sim::Engine::Callback on_dropped) {
+                  sim::Engine::Callback on_dropped, obs::TraceContext ctx) {
   assert(src < nodes_.size() && dst < nodes_.size());
   if (src == dst) {
     // Loopback: no fabric cost beyond a scheduling point.
     engine_.Schedule(0, std::move(on_delivered));
     return;
+  }
+  if (ctx.sampled()) {
+    // One network span covers the whole multi-hop transfer.  If the message
+    // is dropped with no drop handler the span stays open and is clamped at
+    // trace end.
+    const obs::TraceContext span =
+        obs::StartSpan(ctx, obs::Layer::kNet, "net.send");
+    on_delivered = [span, cb = std::move(on_delivered)] {
+      obs::EndSpan(span);
+      cb();
+    };
+    if (on_dropped) {
+      on_dropped = [span, cb = std::move(on_dropped)] {
+        obs::EndSpan(span);
+        cb();
+      };
+    }
   }
   // The per-hop walk re-resolves the route at each hop so that topology
   // changes mid-flight behave like a real fabric (packet follows current

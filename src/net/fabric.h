@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 namespace nlss::net {
@@ -62,7 +63,8 @@ class Fabric {
   /// otherwise the message is counted in dropped().
   void Send(NodeId src, NodeId dst, std::uint64_t bytes,
             sim::Engine::Callback on_delivered,
-            sim::Engine::Callback on_dropped = nullptr);
+            sim::Engine::Callback on_dropped = nullptr,
+            obs::TraceContext ctx = {});
 
   /// Mark a node up/down.  Down nodes route nothing.
   void SetNodeUp(NodeId n, bool up);

@@ -1,0 +1,51 @@
+// Observability hub: one Tracer + one Registry, attached to the system
+// wherever instrumentation is wanted.  Modules take an `obs::Hub*` (null =
+// observability off) so the subsystem stays optional and zero-cost when
+// absent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/crc32c.h"
+
+namespace nlss::obs {
+
+class Hub {
+ public:
+  explicit Hub(sim::Engine& engine, Tracer::Config trace_config = {})
+      : tracer_(engine, trace_config) {
+    metrics_.AddCallback(
+        "nlss_traces_started_total", "Traces considered by the sampler",
+        [this] { return static_cast<double>(tracer_.started()); });
+    metrics_.AddCallback(
+        "nlss_traces_sampled_total", "Traces the sampler admitted",
+        [this] { return static_cast<double>(tracer_.sampled()); });
+    metrics_.AddCallback(
+        "nlss_traces_finished_total", "Traces finished and analyzed",
+        [this] { return static_cast<double>(tracer_.finished()); });
+  }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+
+  /// CRC32C over the full trace dump + metrics exposition.  Two runs of the
+  /// same seeded workload must produce the same digest — the determinism
+  /// regression tests compare exactly this.
+  std::uint32_t Digest() const {
+    const std::string text = tracer_.Dump() + metrics_.PrometheusText();
+    return util::Crc32c(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+ private:
+  Tracer tracer_;
+  Registry metrics_;
+};
+
+}  // namespace nlss::obs

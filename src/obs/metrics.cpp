@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nlss::obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+Registry::Entry& Registry::Ensure(const std::string& name,
+                                  const std::string& help, Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<util::Histogram>();
+        break;
+      case Kind::kCallback:
+        break;
+    }
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  Entry& e = Ensure(name, help, Kind::kCounter);
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  Entry& e = Ensure(name, help, Kind::kGauge);
+  return *e.gauge;
+}
+
+util::Histogram& Registry::histogram(const std::string& name,
+                                     const std::string& help) {
+  Entry& e = Ensure(name, help, Kind::kHistogram);
+  return *e.histogram;
+}
+
+void Registry::AddCallback(const std::string& name, const std::string& help,
+                           std::function<double()> fn) {
+  Entry& e = Ensure(name, help, Kind::kCallback);
+  e.callback = std::move(fn);
+}
+
+std::string Registry::PrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    out << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << ' ' << FormatDouble(e.gauge->value()) << '\n';
+        break;
+      case Kind::kCallback:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << ' '
+            << FormatDouble(e.callback ? e.callback() : 0.0) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const util::Histogram& h = *e.histogram;
+        out << "# TYPE " << name << " summary\n";
+        out << name << "{quantile=\"0.5\"} " << h.Percentile(0.5) << '\n';
+        out << name << "{quantile=\"0.99\"} " << h.Percentile(0.99) << '\n';
+        out << name << "_sum "
+            << FormatDouble(h.Mean() * static_cast<double>(h.count())) << '\n';
+        out << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nlss::obs

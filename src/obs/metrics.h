@@ -1,0 +1,74 @@
+// Named metrics registry with Prometheus text exposition.
+//
+// Modules register counters, gauges, and histograms by name; mgmt's
+// GET /metrics renders every entry in sorted order.  Callback gauges pull
+// their value at render time, which lets existing per-module Stats structs
+// feed the registry without duplicating bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/stats.h"
+
+namespace nlss::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Look up or create; the returned reference is stable for the
+  /// registry's lifetime.  Re-registering an existing name returns the
+  /// existing instrument (help text from the first registration wins).
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  util::Histogram& histogram(const std::string& name, const std::string& help);
+
+  /// Gauge whose value is pulled from `fn` at render time.
+  void AddCallback(const std::string& name, const std::string& help,
+                   std::function<double()> fn);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Prometheus text exposition: counters and gauges verbatim, histograms
+  /// as summaries (p50/p99 quantiles + _count + _sum).  Deterministic:
+  /// entries render in name order.
+  std::string PrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<util::Histogram> histogram;
+    std::function<double()> callback;
+  };
+
+  Entry& Ensure(const std::string& name, const std::string& help, Kind kind);
+
+  std::map<std::string, Entry> entries_;  // sorted => deterministic render
+};
+
+}  // namespace nlss::obs

@@ -1,0 +1,195 @@
+// Span-based request tracing over the deterministic simulation clock.
+//
+// A TraceContext is a 3-word handle threaded through the request path:
+// proto -> controller -> qos -> cache -> raid -> disk, and across fabric
+// messages and WAN hops.  Every span is stamped from the DES clock
+// (sim::Engine::now), so a trace is bit-reproducible from the workload
+// seed.  Sampling is decided per trace from a dedicated seeded RNG stream,
+// independent of the workload RNGs: changing the sample rate never
+// perturbs simulated timing, and an unsampled context costs one branch at
+// each instrumentation point.
+//
+// Finished traces are folded by the critical-path analyzer into a
+// per-layer latency breakdown (queue wait vs service vs network vs disk)
+// and the top-K slowest traces are retained for GET /traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace nlss::obs {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// Stack layer a span is attributed to by the critical-path analyzer.
+enum class Layer : std::uint8_t {
+  kProto,       // protocol export (block target / file server)
+  kController,  // StorageSystem entry + blade logic
+  kQos,         // admission queue wait
+  kCache,       // coherent cache cluster
+  kNet,         // fabric transfers (host links, backplane, WAN)
+  kRaid,        // RAID group stripe operations
+  kDisk,        // disk mechanics
+  kGeo,         // cross-site replication hops
+  kOther,
+};
+inline constexpr int kLayerCount = 9;
+const char* LayerName(Layer layer);
+
+class Tracer;
+
+/// Lightweight handle identifying one span of one active trace.  A
+/// default-constructed (or unsampled) context is inert: every operation on
+/// it is a no-op, so instrumentation points pay a single branch.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  TraceId trace = 0;
+  SpanId span = 0;
+
+  bool sampled() const { return tracer != nullptr; }
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = trace root
+  Layer layer = Layer::kOther;
+  std::string name;
+  std::string note;  // annotation, e.g. "local_hit" / "miss" / "forward"
+  sim::Tick start = 0;
+  sim::Tick end = 0;
+
+  sim::Tick duration() const { return end > start ? end - start : 0; }
+};
+
+/// Per-layer exclusive-time decomposition of one trace (or an aggregate
+/// over many).  Each simulated nanosecond of the root span is attributed
+/// to exactly one layer: the deepest span covering it (children clamp to
+/// their parent, so the per-layer self times sum to the end-to-end
+/// latency).
+struct Breakdown {
+  sim::Tick total = 0;  // root span duration (summed when aggregated)
+  std::array<sim::Tick, kLayerCount> self{};
+
+  sim::Tick of(Layer l) const { return self[static_cast<int>(l)]; }
+  sim::Tick queue_wait() const { return of(Layer::kQos); }
+  sim::Tick network() const { return of(Layer::kNet); }
+  sim::Tick disk() const { return of(Layer::kDisk); }
+  /// Everything that is not queueing, network, or disk mechanics.
+  sim::Tick service() const {
+    return of(Layer::kProto) + of(Layer::kController) + of(Layer::kCache) +
+           of(Layer::kRaid) + of(Layer::kGeo) + of(Layer::kOther);
+  }
+  sim::Tick SelfSum() const {
+    sim::Tick s = 0;
+    for (const sim::Tick v : self) s += v;
+    return s;
+  }
+  void Add(const Breakdown& other);
+};
+
+struct FinishedTrace {
+  TraceId id = 0;
+  std::string name;    // root span name
+  std::string tenant;  // set by whichever layer resolves it
+  bool ok = true;
+  sim::Tick start = 0;
+  sim::Tick end = 0;
+  std::vector<Span> spans;  // creation order; spans[0] is the root
+  Breakdown breakdown;
+
+  sim::Tick duration() const { return end > start ? end - start : 0; }
+};
+
+/// Critical-path analysis: fold a span tree into a per-layer breakdown.
+/// Exposed for tests; Tracer runs it automatically on EndTrace.
+Breakdown AnalyzeCriticalPath(const std::vector<Span>& spans);
+
+class Tracer {
+ public:
+  struct Config {
+    /// Fraction of traces sampled in [0,1].  The decision stream is
+    /// deterministic in `seed` and the number of StartTrace calls.
+    double sample_rate = 1.0;
+    std::uint64_t seed = 0x0b5e7ace;
+    /// Top-K slowest finished traces retained for export.
+    std::size_t keep_slowest = 16;
+  };
+
+  explicit Tracer(sim::Engine& engine) : Tracer(engine, Config()) {}
+  Tracer(sim::Engine& engine, Config config);
+
+  /// Begin a trace; returns an inert context when the sampler says no.
+  TraceContext StartTrace(Layer layer, std::string name,
+                          std::string tenant = "");
+  /// Begin a child span; inert in, inert out.
+  TraceContext StartSpan(const TraceContext& parent, Layer layer,
+                         std::string name);
+  /// Stamp the span's end from the DES clock.
+  void EndSpan(const TraceContext& ctx);
+  /// Attach a note to the span ("local_hit", "miss", "forward", ...).
+  void Annotate(const TraceContext& ctx, const std::string& note);
+  /// Record the trace's tenant (any layer that can resolve it may call).
+  void SetTenant(const TraceContext& ctx, const std::string& tenant);
+  /// Finish the trace rooted at `root`: closes dangling spans, runs the
+  /// critical-path analyzer, and retains it if among the slowest K.
+  void EndTrace(const TraceContext& root, bool ok);
+
+  // --- Introspection ------------------------------------------------------
+  std::uint64_t started() const { return started_; }
+  std::uint64_t sampled() const { return sampled_; }
+  std::uint64_t finished() const { return finished_; }
+  std::size_t active() const { return active_.size(); }
+  /// Sum of breakdowns over every finished trace (mean = aggregate/finished).
+  const Breakdown& aggregate() const { return aggregate_; }
+  /// Slowest finished traces, duration-descending (ties: lower id first).
+  const std::vector<FinishedTrace>& slowest() const { return slowest_; }
+  const Config& config() const { return config_; }
+
+  /// Deterministic text dump of the retained traces (digest input for the
+  /// determinism regression test; also human-readable).
+  std::string Dump() const;
+
+ private:
+  struct Active {
+    FinishedTrace trace;
+    SpanId next_span = 1;
+  };
+
+  Span* FindSpan(const TraceContext& ctx);
+
+  sim::Engine& engine_;
+  Config config_;
+  util::Rng rng_;
+  std::unordered_map<TraceId, Active> active_;
+  std::vector<FinishedTrace> slowest_;
+  Breakdown aggregate_;
+  std::uint64_t started_ = 0;
+  std::uint64_t sampled_ = 0;
+  std::uint64_t finished_ = 0;
+  TraceId next_trace_ = 1;
+};
+
+// --- Inert-safe helpers (the instrumentation-point API) ----------------------
+
+inline TraceContext StartSpan(const TraceContext& parent, Layer layer,
+                              const char* name) {
+  if (parent.tracer == nullptr) return {};
+  return parent.tracer->StartSpan(parent, layer, name);
+}
+
+inline void EndSpan(const TraceContext& ctx) {
+  if (ctx.tracer != nullptr) ctx.tracer->EndSpan(ctx);
+}
+
+inline void Annotate(const TraceContext& ctx, const char* note) {
+  if (ctx.tracer != nullptr) ctx.tracer->Annotate(ctx, note);
+}
+
+}  // namespace nlss::obs

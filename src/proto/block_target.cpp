@@ -25,6 +25,18 @@ BlockTarget::BlockTarget(controller::StorageSystem& system,
       policy_(policy),
       audit_(audit) {}
 
+void BlockTarget::AttachObs(obs::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    reads_total_ = writes_total_ = nullptr;
+    return;
+  }
+  reads_total_ = &hub_->metrics().counter("nlss_proto_block_reads_total",
+                                          "Block-protocol read commands");
+  writes_total_ = &hub_->metrics().counter("nlss_proto_block_writes_total",
+                                           "Block-protocol write commands");
+}
+
 std::optional<BlockTarget::SessionId> BlockTarget::Login(
     net::NodeId host, const std::string& initiator, const std::string& user,
     const std::string& password) {
@@ -90,9 +102,15 @@ void BlockTarget::Read(SessionId session, std::uint32_t volume,
     return;
   }
   const std::uint32_t bs = system_.pool().block_size();
+  if (reads_total_ != nullptr) reads_total_->Increment();
+  obs::TraceContext ctx;
+  if (hub_ != nullptr) {
+    ctx = hub_->tracer().StartTrace(obs::Layer::kProto, "proto.block.read");
+  }
   system_.Read(
       s->host, volume, lba * bs, blocks * bs,
-      [cb = std::move(cb)](bool ok, util::Bytes data) {
+      [ctx, cb = std::move(cb)](bool ok, util::Bytes data) {
+        if (ctx.sampled()) ctx.tracer->EndTrace(ctx, ok);
         if (!ok) {
           cb(BlockStatus::kIoError, {}, 0);
           return;
@@ -100,7 +118,7 @@ void BlockTarget::Read(SessionId session, std::uint32_t volume,
         const std::uint32_t crc = util::Crc32c(data);
         cb(BlockStatus::kOk, std::move(data), crc);
       },
-      /*priority=*/0, s->tenant);
+      /*priority=*/0, s->tenant, ctx);
 }
 
 void BlockTarget::Write(SessionId session, std::uint32_t volume,
@@ -128,12 +146,18 @@ void BlockTarget::Write(SessionId session, std::uint32_t volume,
     return;
   }
   const std::uint32_t bs = system_.pool().block_size();
+  if (writes_total_ != nullptr) writes_total_->Increment();
+  obs::TraceContext ctx;
+  if (hub_ != nullptr) {
+    ctx = hub_->tracer().StartTrace(obs::Layer::kProto, "proto.block.write");
+  }
   system_.Write(
       s->host, volume, lba * bs, data,
-      [cb = std::move(cb)](bool ok) {
+      [ctx, cb = std::move(cb)](bool ok) {
+        if (ctx.sampled()) ctx.tracer->EndTrace(ctx, ok);
         cb(ok ? BlockStatus::kOk : BlockStatus::kIoError);
       },
-      s->tenant);
+      s->tenant, ctx);
 }
 
 BlockStatus BlockTarget::TrySnapshot(SessionId session, std::uint32_t volume) {

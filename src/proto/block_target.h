@@ -43,6 +43,10 @@ class BlockTarget {
   /// carry the user's tenant, so their block I/O is scheduled under it.
   void AttachQos(qos::TenantRegistry* registry) { qos_registry_ = registry; }
 
+  /// Root request traces start here when a hub is attached: every block
+  /// read/write becomes a "proto.block.*" trace (subject to sampling).
+  void AttachObs(obs::Hub* hub);
+
   /// Authenticated login from a host node; returns a session handle.
   std::optional<SessionId> Login(net::NodeId host,
                                  const std::string& initiator,
@@ -89,6 +93,9 @@ class BlockTarget {
   security::CommandPolicy& policy_;
   security::AuditLog& audit_;
   qos::TenantRegistry* qos_registry_ = nullptr;
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* reads_total_ = nullptr;
+  obs::Counter* writes_total_ = nullptr;
   std::map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
 };

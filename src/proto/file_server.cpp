@@ -84,6 +84,18 @@ fs::Status FileServer::SetPolicy(MountId mount, const std::string& path,
   return fs_.SetPolicy(Abs(*m, path), policy);
 }
 
+void FileServer::AttachObs(obs::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    reads_total_ = writes_total_ = nullptr;
+    return;
+  }
+  reads_total_ = &hub_->metrics().counter("nlss_proto_file_reads_total",
+                                          "File-protocol read operations");
+  writes_total_ = &hub_->metrics().counter("nlss_proto_file_writes_total",
+                                           "File-protocol write operations");
+}
+
 void FileServer::Read(MountId mount, const std::string& path,
                       std::uint64_t offset, std::uint64_t length,
                       fs::FileSystem::ReadCallback cb) {
@@ -94,7 +106,19 @@ void FileServer::Read(MountId mount, const std::string& path,
     });
     return;
   }
-  fs_.Read(Abs(*m, path), offset, length, std::move(cb));
+  if (reads_total_ != nullptr) reads_total_->Increment();
+  obs::TraceContext ctx;
+  if (hub_ != nullptr) {
+    ctx = hub_->tracer().StartTrace(obs::Layer::kProto, "proto.file.read");
+  }
+  fs_.Read(Abs(*m, path), offset, length,
+           [ctx, cb = std::move(cb)](fs::Status st, util::Bytes data) {
+             if (ctx.sampled()) {
+               ctx.tracer->EndTrace(ctx, st == fs::Status::kOk);
+             }
+             cb(st, std::move(data));
+           },
+           ctx);
 }
 
 void FileServer::Write(MountId mount, const std::string& path,
@@ -108,7 +132,19 @@ void FileServer::Write(MountId mount, const std::string& path,
     });
     return;
   }
-  fs_.Write(Abs(*m, path), offset, data, std::move(cb));
+  if (writes_total_ != nullptr) writes_total_->Increment();
+  obs::TraceContext ctx;
+  if (hub_ != nullptr) {
+    ctx = hub_->tracer().StartTrace(obs::Layer::kProto, "proto.file.write");
+  }
+  fs_.Write(Abs(*m, path), offset, data,
+            [ctx, cb = std::move(cb)](fs::Status st) {
+              if (ctx.sampled()) {
+                ctx.tracer->EndTrace(ctx, st == fs::Status::kOk);
+              }
+              cb(st);
+            },
+            ctx);
 }
 
 }  // namespace nlss::proto

@@ -23,6 +23,10 @@ class FileServer {
   FileServer(fs::FileSystem& fs, security::AuthService& auth,
              security::AuditLog& audit);
 
+  /// Root request traces start here when a hub is attached: file reads and
+  /// writes become "proto.file.*" traces (subject to sampling).
+  void AttachObs(obs::Hub* hub);
+
   /// Authenticate and mount a subtree.  Requires the "reader" role.
   std::optional<MountId> Mount(const std::string& user,
                                const std::string& password,
@@ -60,6 +64,9 @@ class FileServer {
   fs::FileSystem& fs_;
   security::AuthService& auth_;
   security::AuditLog& audit_;
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* reads_total_ = nullptr;
+  obs::Counter* writes_total_ = nullptr;
   std::map<MountId, MountState> mounts_;
   MountId next_mount_ = 1;
 };

@@ -30,7 +30,8 @@ TokenBucket& Scheduler::BucketFor(TenantId t) {
 }
 
 bool Scheduler::Submit(std::uint32_t blade, TenantId tenant,
-                       std::uint64_t cost_bytes, Launch launch) {
+                       std::uint64_t cost_bytes, Launch launch,
+                       obs::TraceContext ctx) {
   Blade& b = blades_.at(blade);
   const Tenant& t = registry_.tenant(tenant);  // clamps unknown ids
   const ClassSpec& spec = registry_.spec(t.cls);
@@ -44,6 +45,7 @@ bool Scheduler::Submit(std::uint32_t blade, TenantId tenant,
   op.cost = cost_bytes;
   op.submitted = engine_.now();
   op.launch = std::move(launch);
+  op.span = obs::StartSpan(ctx, obs::Layer::kQos, "qos.queue");
   b.queue.Push(std::move(op), spec.weight);
   TryDispatch(blade);
   return true;
@@ -74,6 +76,9 @@ void Scheduler::TryDispatch(std::uint32_t blade) {
     (void)took;
     ++b.in_service;
     slo_.OnDispatch(op->tenant, now - op->submitted);
+    // The queue-wait span closes at dispatch: everything downstream is
+    // service time in other layers' spans.
+    obs::EndSpan(op->span);
     auto launch = std::move(op->launch);
     const TenantId tenant = op->tenant;
     const std::uint64_t cost = op->cost;

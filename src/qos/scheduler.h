@@ -54,8 +54,10 @@ class Scheduler {
   /// Admit a request of `cost_bytes` for `tenant` bound to `blade`.
   /// Returns false (and drops `launch`) when admission control rejects it:
   /// the blade queue is full or the tenant is over its queue-depth cap.
+  /// A sampled `ctx` gets a "qos.queue" span covering admission-to-dispatch
+  /// (the queue-wait component of the trace breakdown).
   bool Submit(std::uint32_t blade, TenantId tenant, std::uint64_t cost_bytes,
-              Launch launch);
+              Launch launch, obs::TraceContext ctx = {});
 
   TenantRegistry& registry() { return registry_; }
   const TenantRegistry& registry() const { return registry_; }

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/trace.h"
 #include "qos/tenant.h"
 #include "sim/engine.h"
 
@@ -33,6 +34,8 @@ struct QueuedOp {
   sim::Tick submitted = 0;
   /// Dispatch thunk: must call `done(ok)` exactly once on completion.
   std::function<void(std::function<void(bool)>)> launch;
+  /// Open "qos.queue" span covering the time spent queued (if sampled).
+  obs::TraceContext span;
   std::uint64_t start_vt = 0;
   std::uint64_t finish_vt = 0;
 };

@@ -213,7 +213,8 @@ bool RaidGroup::Reconstruct(std::uint64_t stripe,
 
 // --- Fetch -----------------------------------------------------------------
 
-void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
+void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb,
+                             obs::TraceContext ctx) {
   RefreshMemberStates();
   const std::uint32_t du = layout_.DataUnitsPerStripe();
   const std::uint32_t width = layout_.width();
@@ -225,13 +226,15 @@ void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
     for (std::uint32_t k = 0; k < width; ++k) {
       const std::uint32_t m = (static_cast<std::uint32_t>(stripe) + k) % width;
       if (!Readable(m)) continue;
-      disks_[m]->Read(lba, ublocks,
-                      [cb = std::move(cb)](bool ok, util::Bytes data) {
-                        StripeData sd;
-                        sd.ok = ok;
-                        if (ok) sd.units.push_back(std::move(data));
-                        cb(std::move(sd));
-                      });
+      disks_[m]->Read(
+          lba, ublocks,
+          [cb = std::move(cb)](bool ok, util::Bytes data) {
+            StripeData sd;
+            sd.ok = ok;
+            if (ok) sd.units.push_back(std::move(data));
+            cb(std::move(sd));
+          },
+          ctx);
       return;
     }
     engine_.Schedule(0, [cb = std::move(cb)] { cb(StripeData{}); });
@@ -273,7 +276,7 @@ void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
     }
   }
 
-  auto finish = [this, stripe, state, degraded](bool ok) {
+  auto finish = [this, stripe, state, degraded, ctx](bool ok) {
     StripeData sd;
     // Even if some reads failed mid-flight, attempt reconstruction from
     // what arrived.
@@ -291,7 +294,7 @@ void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
     if (!ok && !degraded) {
       // A member died mid-flight on the healthy path; retry once — the
       // refreshed member states route the retry through reconstruction.
-      FetchAllData(stripe, std::move(state->cb));
+      FetchAllData(stripe, std::move(state->cb), ctx);
       return;
     }
     state->cb(StripeData{});
@@ -299,11 +302,13 @@ void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
   auto join = std::make_shared<Join>(static_cast<int>(targets.size()),
                                      std::move(finish));
   for (const std::uint32_t d : targets) {
-    disks_[d]->Read(lba, ublocks,
-                    [state, join, d](bool ok, util::Bytes data) {
-                      if (ok) state->raw[d] = std::move(data);
-                      join->Arrive(ok);
-                    });
+    disks_[d]->Read(
+        lba, ublocks,
+        [state, join, d](bool ok, util::Bytes data) {
+          if (ok) state->raw[d] = std::move(data);
+          join->Arrive(ok);
+        },
+        ctx);
   }
 }
 
@@ -311,7 +316,8 @@ void RaidGroup::FetchAllData(std::uint64_t stripe, FetchCallback cb) {
 
 void RaidGroup::StripeRead(std::uint64_t stripe, std::uint32_t first_block,
                            std::uint32_t block_count, std::uint8_t* out,
-                           std::function<void(bool)> done) {
+                           std::function<void(bool)> done,
+                           obs::TraceContext ctx) {
   RefreshMemberStates();
   const std::uint32_t ublocks = layout_.unit_blocks();
   const std::uint32_t bs = block_size_;
@@ -319,26 +325,29 @@ void RaidGroup::StripeRead(std::uint64_t stripe, std::uint32_t first_block,
 
   // Fallback path used when a member is unreadable (or a read fails
   // mid-flight): fetch all data, slice the requested range.
-  auto degraded_read = [this, stripe, first_block, block_count, out,
+  auto degraded_read = [this, stripe, first_block, block_count, out, ctx,
                         done](auto&&) mutable {
-    FetchAllData(stripe, [this, first_block, block_count, out,
-                          done = std::move(done)](StripeData sd) mutable {
-      if (!sd.ok) {
-        done(false);
-        return;
-      }
-      const std::uint32_t ub = layout_.unit_blocks();
-      for (std::uint32_t i = 0; i < block_count; ++i) {
-        const std::uint32_t blk = first_block + i;
-        const std::uint32_t u = blk / ub;
-        const std::uint32_t off = blk % ub;
-        std::memcpy(out + static_cast<std::size_t>(i) * block_size_,
-                    sd.units[u].data() +
-                        static_cast<std::size_t>(off) * block_size_,
-                    block_size_);
-      }
-      done(true);
-    });
+    FetchAllData(
+        stripe,
+        [this, first_block, block_count, out,
+         done = std::move(done)](StripeData sd) mutable {
+          if (!sd.ok) {
+            done(false);
+            return;
+          }
+          const std::uint32_t ub = layout_.unit_blocks();
+          for (std::uint32_t i = 0; i < block_count; ++i) {
+            const std::uint32_t blk = first_block + i;
+            const std::uint32_t u = blk / ub;
+            const std::uint32_t off = blk % ub;
+            std::memcpy(out + static_cast<std::size_t>(i) * block_size_,
+                        sd.units[u].data() +
+                            static_cast<std::size_t>(off) * block_size_,
+                        block_size_);
+          }
+          done(true);
+        },
+        ctx);
   };
 
   if (layout_.level() == RaidLevel::kRaid1) {
@@ -357,7 +366,8 @@ void RaidGroup::StripeRead(std::uint64_t stripe, std::uint32_t first_block,
             std::memcpy(out, data.data(),
                         static_cast<std::size_t>(block_count) * bs);
             done(true);
-          });
+          },
+          ctx);
       return;
     }
     done(false);
@@ -402,20 +412,24 @@ void RaidGroup::StripeRead(std::uint64_t stripe, std::uint32_t first_block,
     const std::uint32_t d = layout_.DiskForData(stripe, u);
     std::uint8_t* dst =
         out + (static_cast<std::size_t>(u) * ublocks + a - first_block) * bs;
-    disks_[d]->Read(lba0 + a, b - a,
-                    [state, join, dst, bs](bool ok, util::Bytes data) {
-                      if (ok) {
-                        std::memcpy(dst, data.data(), data.size());
-                      } else {
-                        state->any_failed = true;
-                      }
-                      join->Arrive(true);  // degraded retry handled in finish
-                    });
+    disks_[d]->Read(
+        lba0 + a, b - a,
+        [state, join, dst, bs](bool ok, util::Bytes data) {
+          if (ok) {
+            std::memcpy(dst, data.data(), data.size());
+          } else {
+            state->any_failed = true;
+          }
+          join->Arrive(true);  // degraded retry handled in finish
+        },
+        ctx);
   }
 }
 
 void RaidGroup::ReadBlocks(std::uint64_t block, std::uint32_t count,
-                           ReadCallback cb) {
+                           ReadCallback cb, obs::TraceContext ctx) {
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kRaid, "raid.read");
   assert(count > 0);
   assert(block + count <= DataCapacityBlocks());
   const std::uint32_t dbs = layout_.DataBlocksPerStripe();
@@ -445,16 +459,19 @@ void RaidGroup::ReadBlocks(std::uint64_t block, std::uint32_t count,
 
   auto join = std::make_shared<Join>(
       static_cast<int>(pieces.size()),
-      [buffer, cb = std::move(cb)](bool ok) {
+      [buffer, span, cb = std::move(cb)](bool ok) {
+        obs::EndSpan(span);
         cb(ok, ok ? std::move(*buffer) : util::Bytes{});
       });
   for (const Piece& p : pieces) {
-    LockStripe(p.stripe, [this, p, buffer, join] {
-      StripeRead(p.stripe, p.first, p.count, buffer->data() + p.out_offset,
-                 [this, p, join](bool ok) {
-                   UnlockStripe(p.stripe);
-                   join->Arrive(ok);
-                 });
+    LockStripe(p.stripe, [this, p, buffer, join, span] {
+      StripeRead(
+          p.stripe, p.first, p.count, buffer->data() + p.out_offset,
+          [this, p, join](bool ok) {
+            UnlockStripe(p.stripe);
+            join->Arrive(ok);
+          },
+          span);
     });
   }
 }
@@ -465,7 +482,8 @@ void RaidGroup::StripeWriteRaid01(std::uint64_t stripe,
                                   std::uint32_t first_block,
                                   std::uint32_t block_count,
                                   const std::uint8_t* src,
-                                  std::function<void(bool)> done) {
+                                  std::function<void(bool)> done,
+                                  obs::TraceContext ctx) {
   const std::uint64_t lba0 = layout_.StripeLba(stripe);
   const std::uint32_t bs = block_size_;
 
@@ -488,8 +506,9 @@ void RaidGroup::StripeWriteRaid01(std::uint64_t stripe,
     const std::span<const std::uint8_t> data(
         src, static_cast<std::size_t>(block_count) * bs);
     for (const std::uint32_t m : targets) {
-      disks_[m]->Write(lba0 + first_block, data,
-                       [join](bool ok) { join->Arrive(ok); });
+      disks_[m]->Write(
+          lba0 + first_block, data, [join](bool ok) { join->Arrive(ok); },
+          ctx);
     }
     return;
   }
@@ -514,7 +533,7 @@ void RaidGroup::StripeWriteRaid01(std::uint64_t stripe,
     disks_[d]->Write(
         lba0 + a,
         std::span<const std::uint8_t>(p, static_cast<std::size_t>(b - a) * bs),
-        [join](bool ok) { join->Arrive(ok); });
+        [join](bool ok) { join->Arrive(ok); }, ctx);
   }
 }
 
@@ -522,7 +541,8 @@ void RaidGroup::StripeWriteParity(std::uint64_t stripe,
                                   std::uint32_t first_block,
                                   std::uint32_t block_count,
                                   const std::uint8_t* src,
-                                  std::function<void(bool)> done) {
+                                  std::function<void(bool)> done,
+                                  obs::TraceContext ctx) {
   const std::uint32_t du = layout_.DataUnitsPerStripe();
   const std::uint32_t dbs = layout_.DataBlocksPerStripe();
   const std::uint32_t ub = unit_bytes();
@@ -532,7 +552,7 @@ void RaidGroup::StripeWriteParity(std::uint64_t stripe,
 
   // The write-back phase common to the full-stripe and partial paths.
   auto write_phase = [this, stripe, first_block, block_count, lba0, du,
-                      ublocks, done = std::move(done)](
+                      ublocks, ctx, done = std::move(done)](
                          std::vector<util::Bytes> data) mutable {
     if (data.empty()) {
       done(false);
@@ -543,8 +563,9 @@ void RaidGroup::StripeWriteParity(std::uint64_t stripe,
     const std::uint64_t parity_bytes =
         static_cast<std::uint64_t>(data.size()) * unit_bytes();
     Compute(parity_bytes, [this, stripe, first_block, block_count, lba0, du,
-                           ublocks, data = std::move(data), p = std::move(p),
-                           q = std::move(q), done = std::move(done)]() mutable {
+                           ublocks, ctx, data = std::move(data),
+                           p = std::move(p), q = std::move(q),
+                           done = std::move(done)]() mutable {
       const std::uint32_t u_first = first_block / ublocks;
       const std::uint32_t u_last = (first_block + block_count - 1) / ublocks;
 
@@ -577,8 +598,8 @@ void RaidGroup::StripeWriteParity(std::uint64_t stripe,
             done(Operational());
           });
       for (const Target& t : targets) {
-        disks_[t.disk]->Write(lba0, *t.content,
-                              [join](bool ok) { join->Arrive(ok); });
+        disks_[t.disk]->Write(
+            lba0, *t.content, [join](bool ok) { join->Arrive(ok); }, ctx);
       }
     });
   };
@@ -595,41 +616,48 @@ void RaidGroup::StripeWriteParity(std::uint64_t stripe,
   }
 
   // Partial write: fetch-merge-recompute (reconstruct-write).
-  FetchAllData(stripe, [this, first_block, block_count, src, bs, ublocks,
-                        write_phase = std::move(write_phase)](
-                           StripeData sd) mutable {
-    if (!sd.ok) {
-      // Cannot reconstruct the stripe's current contents: the group has
-      // lost data; fail the write.
-      write_phase({});  // no targets -> reports failure
-      return;
-    }
-    for (std::uint32_t i = 0; i < block_count; ++i) {
-      const std::uint32_t blk = first_block + i;
-      const std::uint32_t u = blk / ublocks;
-      const std::uint32_t off = blk % ublocks;
-      std::memcpy(sd.units[u].data() + static_cast<std::size_t>(off) * bs,
-                  src + static_cast<std::size_t>(i) * bs, bs);
-    }
-    write_phase(std::move(sd.units));
-  });
+  FetchAllData(
+      stripe,
+      [this, first_block, block_count, src, bs, ublocks,
+       write_phase = std::move(write_phase)](StripeData sd) mutable {
+        if (!sd.ok) {
+          // Cannot reconstruct the stripe's current contents: the group has
+          // lost data; fail the write.
+          write_phase({});  // no targets -> reports failure
+          return;
+        }
+        for (std::uint32_t i = 0; i < block_count; ++i) {
+          const std::uint32_t blk = first_block + i;
+          const std::uint32_t u = blk / ublocks;
+          const std::uint32_t off = blk % ublocks;
+          std::memcpy(sd.units[u].data() + static_cast<std::size_t>(off) * bs,
+                      src + static_cast<std::size_t>(i) * bs, bs);
+        }
+        write_phase(std::move(sd.units));
+      },
+      ctx);
 }
 
 void RaidGroup::StripeWrite(std::uint64_t stripe, std::uint32_t first_block,
                             std::uint32_t block_count, const std::uint8_t* src,
-                            std::function<void(bool)> done) {
+                            std::function<void(bool)> done,
+                            obs::TraceContext ctx) {
   RefreshMemberStates();
   if (layout_.level() == RaidLevel::kRaid0 ||
       layout_.level() == RaidLevel::kRaid1) {
-    StripeWriteRaid01(stripe, first_block, block_count, src, std::move(done));
+    StripeWriteRaid01(stripe, first_block, block_count, src, std::move(done),
+                      ctx);
   } else {
-    StripeWriteParity(stripe, first_block, block_count, src, std::move(done));
+    StripeWriteParity(stripe, first_block, block_count, src, std::move(done),
+                      ctx);
   }
 }
 
 void RaidGroup::WriteBlocks(std::uint64_t block,
                             std::span<const std::uint8_t> data,
-                            WriteCallback cb) {
+                            WriteCallback cb, obs::TraceContext ctx) {
+  const obs::TraceContext span =
+      obs::StartSpan(ctx, obs::Layer::kRaid, "raid.write");
   assert(!data.empty());
   assert(data.size() % block_size_ == 0);
   const std::uint32_t count = static_cast<std::uint32_t>(data.size() / block_size_);
@@ -660,15 +688,19 @@ void RaidGroup::WriteBlocks(std::uint64_t block,
   }
 
   auto join = std::make_shared<Join>(
-      static_cast<int>(pieces.size()),
-      [src, cb = std::move(cb)](bool ok) { cb(ok); });
+      static_cast<int>(pieces.size()), [src, span, cb = std::move(cb)](bool ok) {
+        obs::EndSpan(span);
+        cb(ok);
+      });
   for (const Piece& p : pieces) {
-    LockStripe(p.stripe, [this, p, src, join] {
-      StripeWrite(p.stripe, p.first, p.count, src->data() + p.src_offset,
-                  [this, p, join](bool ok) {
-                    UnlockStripe(p.stripe);
-                    join->Arrive(ok);
-                  });
+    LockStripe(p.stripe, [this, p, src, join, span] {
+      StripeWrite(
+          p.stripe, p.first, p.count, src->data() + p.src_offset,
+          [this, p, join](bool ok) {
+            UnlockStripe(p.stripe);
+            join->Arrive(ok);
+          },
+          span);
     });
   }
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "disk/disk.h"
+#include "obs/trace.h"
 #include "raid/layout.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -50,9 +51,10 @@ class RaidGroup {
   std::uint32_t block_size() const { return block_size_; }
   const Layout& layout() const { return layout_; }
 
-  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb);
+  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext ctx = {});
   void WriteBlocks(std::uint64_t block, std::span<const std::uint8_t> data,
-                   WriteCallback cb);
+                   WriteCallback cb, obs::TraceContext ctx = {});
 
   // --- Health and rebuild ------------------------------------------------
 
@@ -113,7 +115,8 @@ class RaidGroup {
 
   /// Obtain all data units of a stripe, reconstructing as needed.
   /// Caller must hold the stripe lock.
-  void FetchAllData(std::uint64_t stripe, FetchCallback cb);
+  void FetchAllData(std::uint64_t stripe, FetchCallback cb,
+                    obs::TraceContext ctx = {});
 
   /// Reconstruct missing data units in-place given surviving raw units.
   /// raw[i] holds disk i's unit (empty if unreadable).  Returns false if
@@ -124,16 +127,18 @@ class RaidGroup {
   // Stripe-granular operations (assume lock held; release it on completion).
   void StripeRead(std::uint64_t stripe, std::uint32_t first_block,
                   std::uint32_t block_count, std::uint8_t* out,
-                  std::function<void(bool)> done);
+                  std::function<void(bool)> done, obs::TraceContext ctx = {});
   void StripeWrite(std::uint64_t stripe, std::uint32_t first_block,
                    std::uint32_t block_count, const std::uint8_t* src,
-                   std::function<void(bool)> done);
+                   std::function<void(bool)> done, obs::TraceContext ctx = {});
   void StripeWriteRaid01(std::uint64_t stripe, std::uint32_t first_block,
                          std::uint32_t block_count, const std::uint8_t* src,
-                         std::function<void(bool)> done);
+                         std::function<void(bool)> done,
+                         obs::TraceContext ctx = {});
   void StripeWriteParity(std::uint64_t stripe, std::uint32_t first_block,
                          std::uint32_t block_count, const std::uint8_t* src,
-                         std::function<void(bool)> done);
+                         std::function<void(bool)> done,
+                         obs::TraceContext ctx = {});
 
   /// Compute P (and Q for RAID-6) over full data units.
   void ComputeParity(const std::vector<util::Bytes>& data, util::Bytes& p,

@@ -23,7 +23,7 @@ void EncryptedBacking::Charge(std::uint64_t bytes, std::function<void()> next) {
 }
 
 void EncryptedBacking::ReadBlocks(std::uint64_t block, std::uint32_t count,
-                                  ReadCallback cb) {
+                                  ReadCallback cb, obs::TraceContext ctx) {
   inner_.ReadBlocks(
       block, count,
       [this, block, cb = std::move(cb)](bool ok, util::Bytes data) mutable {
@@ -44,12 +44,13 @@ void EncryptedBacking::ReadBlocks(std::uint64_t block, std::uint32_t count,
         Charge(n, [shared, cb = std::move(cb)]() mutable {
           cb(true, std::move(*shared));
         });
-      });
+      },
+      ctx);
 }
 
 void EncryptedBacking::WriteBlocks(std::uint64_t block,
                                    std::span<const std::uint8_t> data,
-                                   WriteCallback cb) {
+                                   WriteCallback cb, obs::TraceContext ctx) {
   util::Bytes ciphertext(data.begin(), data.end());
   const std::uint32_t bs = block_size();
   for (std::uint32_t i = 0; i * bs < ciphertext.size(); ++i) {
@@ -60,10 +61,12 @@ void EncryptedBacking::WriteBlocks(std::uint64_t block,
   }
   bytes_encrypted_ += ciphertext.size();
   auto shared = std::make_shared<util::Bytes>(std::move(ciphertext));
-  Charge(shared->size(), [this, block, shared, cb = std::move(cb)]() mutable {
-    inner_.WriteBlocks(block, *shared,
-                       [shared, cb = std::move(cb)](bool ok) { cb(ok); });
-  });
+  Charge(shared->size(),
+         [this, block, shared, ctx, cb = std::move(cb)]() mutable {
+           inner_.WriteBlocks(
+               block, *shared,
+               [shared, cb = std::move(cb)](bool ok) { cb(ok); }, ctx);
+         });
 }
 
 }  // namespace nlss::security

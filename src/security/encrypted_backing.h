@@ -32,10 +32,10 @@ class EncryptedBacking final : public cache::BackingStore {
   EncryptedBacking(sim::Engine& engine, cache::BackingStore& inner,
                    const crypto::VolumeKeys& keys, Config config);
 
-  void ReadBlocks(std::uint64_t block, std::uint32_t count,
-                  ReadCallback cb) override;
+  void ReadBlocks(std::uint64_t block, std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext ctx = {}) override;
   void WriteBlocks(std::uint64_t block, std::span<const std::uint8_t> data,
-                   WriteCallback cb) override;
+                   WriteCallback cb, obs::TraceContext ctx = {}) override;
   std::uint64_t CapacityBlocks() const override {
     return inner_.CapacityBlocks();
   }

@@ -45,18 +45,19 @@ void StoragePool::Free(const PhysExtent& e) {
 }
 
 void StoragePool::ReadBlocks(const PhysExtent& e, std::uint32_t offset_blocks,
-                             std::uint32_t count, ReadCallback cb) {
+                             std::uint32_t count, ReadCallback cb,
+                             obs::TraceContext ctx) {
   assert(offset_blocks + count <= extent_blocks_);
   groups_[e.group]->ReadBlocks(BaseBlock(e) + offset_blocks, count,
-                               std::move(cb));
+                               std::move(cb), ctx);
 }
 
 void StoragePool::WriteBlocks(const PhysExtent& e, std::uint32_t offset_blocks,
                               std::span<const std::uint8_t> data,
-                              WriteCallback cb) {
+                              WriteCallback cb, obs::TraceContext ctx) {
   assert(offset_blocks + data.size() / block_size_ <= extent_blocks_);
   groups_[e.group]->WriteBlocks(BaseBlock(e) + offset_blocks, data,
-                                std::move(cb));
+                                std::move(cb), ctx);
 }
 
 }  // namespace nlss::virt

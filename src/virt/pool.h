@@ -52,9 +52,11 @@ class StoragePool {
 
   /// I/O within one extent (offset/count must not cross the extent end).
   void ReadBlocks(const PhysExtent& e, std::uint32_t offset_blocks,
-                  std::uint32_t count, ReadCallback cb);
+                  std::uint32_t count, ReadCallback cb,
+                  obs::TraceContext ctx = {});
   void WriteBlocks(const PhysExtent& e, std::uint32_t offset_blocks,
-                   std::span<const std::uint8_t> data, WriteCallback cb);
+                   std::span<const std::uint8_t> data, WriteCallback cb,
+                   obs::TraceContext ctx = {});
 
   raid::RaidGroup& group(std::uint32_t i) { return *groups_[i]; }
   std::size_t group_count() const { return groups_.size(); }

@@ -88,7 +88,8 @@ void DemandMappedVolume::UnlockExtent(std::uint64_t vext) {
 }
 
 void DemandMappedVolume::ReadVia(const ExtentMap& map, std::uint64_t block,
-                                 std::uint32_t count, ReadCallback cb) {
+                                 std::uint32_t count, ReadCallback cb,
+                                 obs::TraceContext ctx) {
   assert(block + count <= virtual_blocks_);
   const std::uint32_t eb = pool_.extent_blocks();
   const std::uint32_t bs = block_size();
@@ -126,20 +127,21 @@ void DemandMappedVolume::ReadVia(const ExtentMap& map, std::uint64_t block,
       engine_.Schedule(0, [join] { join->Arrive(true); });
       continue;
     }
-    pool_.ReadBlocks(*phys, p.off, p.n,
-                     [result, p, bs, join](bool ok, util::Bytes data) {
-                       if (ok) {
-                         std::memcpy(result->data() + p.out, data.data(),
-                                     data.size());
-                       }
-                       join->Arrive(ok);
-                     });
+    pool_.ReadBlocks(
+        *phys, p.off, p.n,
+        [result, p, bs, join](bool ok, util::Bytes data) {
+          if (ok) {
+            std::memcpy(result->data() + p.out, data.data(), data.size());
+          }
+          join->Arrive(ok);
+        },
+        ctx);
   }
 }
 
 void DemandMappedVolume::ReadBlocks(std::uint64_t block, std::uint32_t count,
-                                    ReadCallback cb) {
-  ReadVia(map_, block, count, std::move(cb));
+                                    ReadCallback cb, obs::TraceContext ctx) {
+  ReadVia(map_, block, count, std::move(cb), ctx);
 }
 
 void DemandMappedVolume::ReadSnapshotBlocks(SnapshotId id, std::uint64_t block,
@@ -153,7 +155,8 @@ void DemandMappedVolume::ReadSnapshotBlocks(SnapshotId id, std::uint64_t block,
 void DemandMappedVolume::WriteWithinExtent(std::uint64_t vext,
                                            std::uint32_t offset_blocks,
                                            std::span<const std::uint8_t> data,
-                                           WriteCallback cb) {
+                                           WriteCallback cb,
+                                           obs::TraceContext ctx) {
   const std::uint32_t eb = pool_.extent_blocks();
   const std::uint32_t bs = block_size();
   auto finish = [this, vext, cb = std::move(cb)](bool ok) {
@@ -166,7 +169,7 @@ void DemandMappedVolume::WriteWithinExtent(std::uint64_t vext,
   const bool needs_cow = slot.has_value() && RefCount(*slot) > 1;
 
   if (!needs_alloc && !needs_cow) {
-    pool_.WriteBlocks(*slot, offset_blocks, data, std::move(finish));
+    pool_.WriteBlocks(*slot, offset_blocks, data, std::move(finish), ctx);
     return;
   }
 
@@ -189,7 +192,7 @@ void DemandMappedVolume::WriteWithinExtent(std::uint64_t vext,
     slot = *fresh;
     Ref(*fresh);
     ++mapped_extents_;
-    pool_.WriteBlocks(*fresh, 0, init, std::move(finish));
+    pool_.WriteBlocks(*fresh, 0, init, std::move(finish), ctx);
     return;
   }
 
@@ -199,7 +202,7 @@ void DemandMappedVolume::WriteWithinExtent(std::uint64_t vext,
   util::Bytes patch(data.begin(), data.end());
   pool_.ReadBlocks(
       old, 0, eb,
-      [this, vext, old, fresh = *fresh, offset_blocks, bs,
+      [this, vext, old, fresh = *fresh, offset_blocks, bs, ctx,
        patch = std::move(patch),
        finish = std::move(finish)](bool ok, util::Bytes content) mutable {
         if (!ok) {
@@ -220,13 +223,15 @@ void DemandMappedVolume::WriteWithinExtent(std::uint64_t vext,
                 pool_.Free(fresh);
               }
               finish(ok2);
-            });
-      });
+            },
+            ctx);
+      },
+      ctx);
 }
 
 void DemandMappedVolume::WriteBlocks(std::uint64_t block,
                                      std::span<const std::uint8_t> data,
-                                     WriteCallback cb) {
+                                     WriteCallback cb, obs::TraceContext ctx) {
   assert(data.size() % block_size() == 0);
   const std::uint32_t count =
       static_cast<std::uint32_t>(data.size() / block_size());
@@ -261,12 +266,12 @@ void DemandMappedVolume::WriteBlocks(std::uint64_t block,
                                        cb(ok);
                                      });
   for (const Piece& p : pieces) {
-    LockExtent(p.vext, [this, p, src, bs, join] {
+    LockExtent(p.vext, [this, p, src, bs, join, ctx] {
       WriteWithinExtent(
           p.vext, p.off,
           std::span<const std::uint8_t>(src->data() + p.src_off,
                                         static_cast<std::size_t>(p.n) * bs),
-          [join](bool ok) { join->Arrive(ok); });
+          [join](bool ok) { join->Arrive(ok); }, ctx);
     });
   }
 }

@@ -246,6 +246,82 @@ TEST_F(MgmtTest, AdminHttpQosRoutes) {
   EXPECT_EQ(r.status, 400);
 }
 
+TEST_F(MgmtTest, AdminHttpObsRoutes) {
+  crypto::KeyStore keys(std::string_view("m"));
+  security::AuthService auth(engine_, keys);
+  security::AuditLog audit(engine_);
+  AlertManager alerts(engine_);
+  auth.AddUser("root", "pw", {"admin"});
+  AdminHttp admin(*system_, auth, alerts, audit);
+  const auto token = *auth.Login("root", "pw");
+  const auto get = [&](const std::string& path) {
+    return admin.Handle("GET " + path + " HTTP/1.0\r\nAuthorization: " +
+                        token + "\r\n\r\n");
+  };
+
+  // Without a hub attached: 404.
+  EXPECT_EQ(get("/metrics").status, 404);
+  EXPECT_EQ(get("/traces").status, 404);
+
+  obs::Hub hub(engine_);
+  admin.AttachObs(&hub);
+  system_->AttachObs(&hub);
+
+  // Drive a couple of traced ops so there is something to export.
+  const auto vol = system_->CreateVolume("physics", 8 * util::MiB);
+  bool ok = false;
+  system_->Write(host_, vol, 0, Pattern(64 * util::KiB, 1),
+                 [&](bool r) { ok = r; });
+  engine_.Run();
+  ASSERT_TRUE(ok);
+  system_->Read(host_, vol, 0, 64 * util::KiB, [](bool, util::Bytes) {});
+  engine_.Run();
+
+  // /metrics: Prometheus text, not JSON.
+  auto r = get("/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("text/plain"), std::string::npos);
+  std::string body(r.body.begin(), r.body.end());
+  EXPECT_NE(body.find("# TYPE nlss_controller_reads_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("nlss_traces_finished_total 2"), std::string::npos);
+
+  // /traces: every retained trace, JSON.
+  r = get("/traces");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  body.assign(r.body.begin(), r.body.end());
+  EXPECT_NE(body.find("\"name\":\"controller.read\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"controller.write\""), std::string::npos);
+  EXPECT_NE(body.find("\"tenant\":\"physics\""), std::string::npos);
+  EXPECT_NE(body.find("\"breakdown_ns\""), std::string::npos);
+  EXPECT_NE(body.find("\"spans\""), std::string::npos);
+
+  // Tenant filter keeps matches, drops the rest.
+  body = [&] {
+    auto resp = get("/traces?tenant=physics");
+    return std::string(resp.body.begin(), resp.body.end());
+  }();
+  EXPECT_NE(body.find("\"tenant\":\"physics\""), std::string::npos);
+  body = [&] {
+    auto resp = get("/traces?tenant=nosuch");
+    return std::string(resp.body.begin(), resp.body.end());
+  }();
+  EXPECT_EQ(body.find("\"tenant\":\"physics\""), std::string::npos);
+  EXPECT_NE(body.find("\"traces\":[]"), std::string::npos);
+
+  // min_us filter: an absurd floor drops everything; 0 keeps everything.
+  body = [&] {
+    auto resp = get("/traces?tenant=physics&min_us=999999999");
+    return std::string(resp.body.begin(), resp.body.end());
+  }();
+  EXPECT_NE(body.find("\"traces\":[]"), std::string::npos);
+  EXPECT_EQ(get("/traces?min_us=0").status, 200);
+
+  // Malformed min_us is rejected, not silently ignored.
+  EXPECT_EQ(get("/traces?min_us=abc").status, 400);
+}
+
 TEST_F(MgmtTest, GeoStatusReport) {
   geo::GeoCluster cluster(engine_, *fabric_);
   controller::SystemConfig sc;
