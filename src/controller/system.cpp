@@ -136,6 +136,38 @@ void StorageSystem::AttachQos(qos::Scheduler* qos) {
     const auto t = qos_->registry().FindByName(volumes_[id]->tenant());
     if (t.has_value()) qos_->registry().BindVolume(id, *t);
   }
+  RegisterQosMetrics();
+}
+
+void StorageSystem::RegisterQosMetrics() {
+  if (hub_ == nullptr || qos_ == nullptr) return;
+  obs::Registry& m = hub_->metrics();
+  // One labelled series per tenant known at attach time, alongside the
+  // flat aggregates (a single Prometheus scrape covers the whole
+  // multi-tenant story).  Values pull from the SLO tracker at render time.
+  for (const qos::Tenant& t : qos_->registry().tenants()) {
+    const qos::TenantId id = t.id;
+    const obs::Labels labels = {{"tenant", t.name}};
+    m.AddCallback(
+        "nlss_qos_ops_total", "Ops completed through QoS admission",
+        [this, id] {
+          return qos_ == nullptr ? 0.0 : double(qos_->slo().stats(id).ops);
+        },
+        labels);
+    m.AddCallback(
+        "nlss_qos_rejected_total", "Admission-control rejections",
+        [this, id] {
+          return qos_ == nullptr ? 0.0
+                                 : double(qos_->slo().stats(id).rejected);
+        },
+        labels);
+    m.AddCallback(
+        "nlss_qos_bytes_total", "Bytes completed through QoS admission",
+        [this, id] {
+          return qos_ == nullptr ? 0.0 : double(qos_->slo().stats(id).bytes);
+        },
+        labels);
+  }
 }
 
 void StorageSystem::AttachObs(obs::Hub* hub) {
@@ -199,6 +231,7 @@ void StorageSystem::AttachObs(obs::Hub* hub) {
                   }
                   return n;
                 });
+  RegisterQosMetrics();
 }
 
 obs::TraceContext StorageSystem::StartOp(obs::TraceContext ctx,
@@ -243,7 +276,7 @@ void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
       });
   *attempt = [this, host, vol, offset, length, priority, tenant, shared_cb,
               attempt, ctx](std::uint32_t retries_left) {
-    ReadOnce(host, vol, offset, length, priority, tenant,
+    ReadOnce(host, PickController(vol), vol, offset, length, priority, tenant,
              [this, shared_cb, attempt, retries_left](bool ok,
                                                       util::Bytes data) {
                if (ok || retries_left == 0) {
@@ -260,11 +293,64 @@ void StorageSystem::Read(net::NodeId host, VolumeId vol, std::uint64_t offset,
   (*attempt)(config_.io_retries);
 }
 
-void StorageSystem::ReadOnce(net::NodeId host, VolumeId vol,
-                             std::uint64_t offset, std::uint32_t length,
-                             std::uint8_t priority, qos::TenantId tenant,
-                             ReadCallback cb, obs::TraceContext ctx) {
-  const cache::ControllerId ctrl = PickController(vol);
+void StorageSystem::ReadVia(net::NodeId host, cache::ControllerId via,
+                            VolumeId vol, std::uint64_t offset,
+                            std::uint32_t length, ReadCallback cb,
+                            std::uint8_t priority, qos::TenantId tenant,
+                            obs::TraceContext ctx) {
+  if (reads_total_ != nullptr) reads_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.read", vol, &root);
+  const sim::Tick t0 = engine_.now();
+  ReadOnce(host, via, vol, offset, length, priority, tenant,
+           [this, t0, ctx, root, cb = std::move(cb)](bool ok,
+                                                     util::Bytes data) {
+             if (read_latency_ns_ != nullptr) {
+               read_latency_ns_->Record(engine_.now() - t0);
+               if (!ok) io_failures_total_->Increment();
+             }
+             if (root) {
+               ctx.tracer->EndTrace(ctx, ok);
+             } else {
+               obs::EndSpan(ctx);
+             }
+             cb(ok, std::move(data));
+           },
+           ctx);
+}
+
+void StorageSystem::WriteVia(net::NodeId host, cache::ControllerId via,
+                             VolumeId vol, std::uint64_t offset,
+                             std::span<const std::uint8_t> data,
+                             WriteCallback cb, std::uint8_t priority,
+                             qos::TenantId tenant, obs::TraceContext ctx) {
+  if (writes_total_ != nullptr) writes_total_->Increment();
+  bool root = false;
+  ctx = StartOp(ctx, "controller.write", vol, &root);
+  const sim::Tick t0 = engine_.now();
+  auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
+  WriteOnce(host, via, vol, offset, std::move(payload),
+            config_.cache.replication, priority, tenant,
+            [this, t0, ctx, root, cb = std::move(cb)](bool ok) {
+              if (write_latency_ns_ != nullptr) {
+                write_latency_ns_->Record(engine_.now() - t0);
+                if (!ok) io_failures_total_->Increment();
+              }
+              if (root) {
+                ctx.tracer->EndTrace(ctx, ok);
+              } else {
+                obs::EndSpan(ctx);
+              }
+              cb(ok);
+            },
+            ctx);
+}
+
+void StorageSystem::ReadOnce(net::NodeId host, cache::ControllerId ctrl,
+                             VolumeId vol, std::uint64_t offset,
+                             std::uint32_t length, std::uint8_t priority,
+                             qos::TenantId tenant, ReadCallback cb,
+                             obs::TraceContext ctx) {
   auto shared_cb = std::make_shared<ReadCallback>(std::move(cb));
   // The blade attempt, parameterized on the QoS completion hook (`done` is
   // a no-op when no scheduler is attached).
@@ -355,7 +441,8 @@ void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
       });
   *attempt = [this, host, vol, offset, payload, replication, priority, tenant,
               outer_cb, attempt, ctx](std::uint32_t retries_left) {
-    WriteOnce(host, vol, offset, payload, replication, priority, tenant,
+    WriteOnce(host, PickController(vol), vol, offset, payload, replication,
+              priority, tenant,
               [this, outer_cb, attempt, retries_left](bool ok) {
                 if (ok || retries_left == 0) {
                   (*outer_cb)(ok);
@@ -371,13 +458,12 @@ void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
   (*attempt)(config_.io_retries);
 }
 
-void StorageSystem::WriteOnce(net::NodeId host, VolumeId vol,
-                              std::uint64_t offset,
+void StorageSystem::WriteOnce(net::NodeId host, cache::ControllerId ctrl,
+                              VolumeId vol, std::uint64_t offset,
                               std::shared_ptr<util::Bytes> payload,
                               std::uint32_t replication, std::uint8_t priority,
                               qos::TenantId tenant, WriteCallback cb,
                               obs::TraceContext ctx) {
-  const cache::ControllerId ctrl = PickController(vol);
   auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
   auto issue = [this, host, ctrl, vol, offset, replication, priority, payload,
                 shared_cb, ctx](std::function<void(bool)> done) {

@@ -111,6 +111,23 @@ class StorageSystem {
                        qos::TenantId tenant = qos::kAutoTenant,
                        obs::TraceContext ctx = {});
 
+  /// Single-attempt host I/O via an explicitly chosen blade: the entry the
+  /// host initiator stack (src/host) uses once its multipath layer has
+  /// picked a path.  No driver retry loop — path selection, timeout,
+  /// backoff, and re-drive all live with the caller.  Timing includes both
+  /// host<->blade fabric legs, and the request rides the QoS admission
+  /// path like any other host I/O.
+  void ReadVia(net::NodeId host, cache::ControllerId via, VolumeId vol,
+               std::uint64_t offset, std::uint32_t length, ReadCallback cb,
+               std::uint8_t priority = 0,
+               qos::TenantId tenant = qos::kAutoTenant,
+               obs::TraceContext ctx = {});
+  void WriteVia(net::NodeId host, cache::ControllerId via, VolumeId vol,
+                std::uint64_t offset, std::span<const std::uint8_t> data,
+                WriteCallback cb, std::uint8_t priority = 0,
+                qos::TenantId tenant = qos::kAutoTenant,
+                obs::TraceContext ctx = {});
+
   /// Controller-local cached I/O (no host fabric legs): the entry the
   /// parallel file system uses once it has picked a blade.  Rides the same
   /// QoS admission path as host I/O.
@@ -170,17 +187,21 @@ class StorageSystem {
   const std::vector<std::uint32_t>& outstanding() const { return outstanding_; }
 
  private:
-  /// Single attempts (no retry); the public entry points wrap these with
-  /// the host-driver multipath retry loop.
-  void ReadOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
-                std::uint32_t length, std::uint8_t priority,
-                qos::TenantId tenant, ReadCallback cb,
+  /// Single attempts against an explicit blade (no retry); the public
+  /// entry points wrap these with the host-driver multipath retry loop or
+  /// expose them directly (ReadVia/WriteVia).
+  void ReadOnce(net::NodeId host, cache::ControllerId ctrl, VolumeId vol,
+                std::uint64_t offset, std::uint32_t length,
+                std::uint8_t priority, qos::TenantId tenant, ReadCallback cb,
                 obs::TraceContext ctx = {});
-  void WriteOnce(net::NodeId host, VolumeId vol, std::uint64_t offset,
-                 std::shared_ptr<util::Bytes> payload,
+  void WriteOnce(net::NodeId host, cache::ControllerId ctrl, VolumeId vol,
+                 std::uint64_t offset, std::shared_ptr<util::Bytes> payload,
                  std::uint32_t replication, std::uint8_t priority,
                  qos::TenantId tenant, WriteCallback cb,
                  obs::TraceContext ctx = {});
+  /// Register the labelled per-tenant QoS series (idempotent; called from
+  /// AttachObs and AttachQos so attach order doesn't matter).
+  void RegisterQosMetrics();
   /// Map a request to its QoS tenant (explicit id, else volume binding).
   qos::TenantId ResolveTenant(VolumeId vol, qos::TenantId hint) const;
   /// Root-or-child span entry: starts a trace when `ctx` is inert and a hub

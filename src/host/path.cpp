@@ -1,0 +1,75 @@
+#include "host/path.h"
+
+namespace nlss::host {
+
+const char* PathStateName(PathState s) {
+  switch (s) {
+    case PathState::kUp:
+      return "up";
+    case PathState::kHalfOpen:
+      return "half-open";
+    case PathState::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+bool PathHealth::Available(sim::Tick now) const {
+  switch (state_) {
+    case PathState::kUp:
+      return true;
+    case PathState::kHalfOpen:
+      return trial_outstanding_ == 0;
+    case PathState::kDown:
+      return now >= down_since_ + config_.breaker_reset_ns &&
+             trial_outstanding_ == 0;
+  }
+  return false;
+}
+
+void PathHealth::OnIssue(sim::Tick now) {
+  (void)now;
+  ++outstanding_;
+  if (state_ != PathState::kUp) ++trial_outstanding_;
+}
+
+void PathHealth::OnSuccess(sim::Tick service_ns) {
+  if (outstanding_ > 0) --outstanding_;
+  if (trial_outstanding_ > 0) --trial_outstanding_;
+  consecutive_errors_ = 0;
+  state_ = PathState::kUp;  // trial success closes the breaker
+  latency_.Record(service_ns);
+  const auto s = static_cast<double>(service_ns);
+  ewma_ns_ = ewma_ns_ == 0.0
+                 ? s
+                 : config_.ewma_alpha * s +
+                       (1.0 - config_.ewma_alpha) * ewma_ns_;
+}
+
+void PathHealth::OnError(sim::Tick now) {
+  if (outstanding_ > 0) --outstanding_;
+  if (trial_outstanding_ > 0) --trial_outstanding_;
+  ++consecutive_errors_;
+  if (state_ != PathState::kUp || consecutive_errors_ >= config_.breaker_threshold) {
+    // A failed trial, or enough consecutive errors, (re)opens the breaker.
+    MarkDown(now);
+  }
+}
+
+void PathHealth::OnAbandoned() {
+  if (outstanding_ > 0) --outstanding_;
+  if (trial_outstanding_ > 0) --trial_outstanding_;
+}
+
+void PathHealth::MarkDown(sim::Tick now) {
+  // Always restart the reset clock: a failed trial must not leave the
+  // breaker immediately re-eligible.
+  down_since_ = now;
+  state_ = PathState::kDown;
+}
+
+void PathHealth::ProbeOk() {
+  if (state_ == PathState::kDown) state_ = PathState::kHalfOpen;
+}
+
+}  // namespace nlss::host

@@ -1,0 +1,91 @@
+// Per-path health tracking for the host initiator stack.
+//
+// One PathHealth instance shadows each host->blade session: an EWMA of
+// observed service time (path selection weight), a full latency histogram
+// (hedging delay quantiles), and a consecutive-error circuit breaker with
+// half-open probing.  A path declared dead by the heartbeat (or tripped by
+// the breaker) stops receiving regular traffic; it re-enters service
+// through a half-open trial — one request at a time — and closes back to
+// kUp on the first trial success.
+//
+// All state is driven from the DES clock and the initiator's seeded RNG,
+// so failover behaviour is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace nlss::host {
+
+enum class PathState : std::uint8_t {
+  kUp,        // healthy, in the selection set
+  kHalfOpen,  // probing: one trial request at a time
+  kDown,      // breaker open / heartbeat-declared dead
+};
+const char* PathStateName(PathState s);
+
+struct PathConfig {
+  /// EWMA smoothing for observed service time (higher = more reactive).
+  double ewma_alpha = 0.2;
+  /// Consecutive errors that trip the breaker to kDown.
+  std::uint32_t breaker_threshold = 3;
+  /// After this long in kDown with no successful heartbeat probe, traffic
+  /// may half-open the breaker itself (fallback when heartbeats are off).
+  sim::Tick breaker_reset_ns = 100 * util::kNsPerMs;
+};
+
+class PathHealth {
+ public:
+  PathHealth(std::uint32_t blade, PathConfig config)
+      : blade_(blade), config_(config) {}
+
+  std::uint32_t blade() const { return blade_; }
+  PathState state() const { return state_; }
+  std::uint32_t outstanding() const { return outstanding_; }
+  double ewma_ns() const { return ewma_ns_; }
+  std::uint64_t samples() const { return latency_.count(); }
+  const util::Histogram& latency() const { return latency_; }
+  std::uint32_t consecutive_errors() const { return consecutive_errors_; }
+
+  /// Usable for a new request now?  kUp always; kDown once breaker_reset_ns
+  /// has elapsed (the request becomes the half-open trial); kHalfOpen only
+  /// while no trial is in flight.
+  bool Available(sim::Tick now) const;
+
+  /// Selection weight: EWMA service time scaled by queue depth (an
+  /// unmeasured path scores 0 so every path gets warmed).
+  double Score() const { return ewma_ns_ * (1.0 + outstanding_); }
+
+  /// Hedge delay source: latency quantile in [0,1].
+  sim::Tick LatencyQuantile(double q) const { return latency_.Percentile(q); }
+
+  // --- Request accounting ---------------------------------------------------
+  void OnIssue(sim::Tick now);
+  void OnSuccess(sim::Tick service_ns);
+  void OnError(sim::Tick now);
+  /// Attempt abandoned without a verdict from this path's point of view
+  /// (late hedge loser bookkeeping): outstanding-- only.
+  void OnAbandoned();
+
+  // --- External state changes ----------------------------------------------
+  /// Heartbeat-declared death (or forced by tests).
+  void MarkDown(sim::Tick now);
+  /// A heartbeat probe succeeded while down: allow half-open trials.
+  void ProbeOk();
+
+ private:
+  std::uint32_t blade_;
+  PathConfig config_;
+  PathState state_ = PathState::kUp;
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t trial_outstanding_ = 0;
+  std::uint32_t consecutive_errors_ = 0;
+  double ewma_ns_ = 0.0;
+  util::Histogram latency_;
+  sim::Tick down_since_ = 0;
+};
+
+}  // namespace nlss::host

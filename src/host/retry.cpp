@@ -1,0 +1,24 @@
+#include "host/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nlss::host {
+
+sim::Tick BackoffDelay(const RetryPolicy& policy, std::uint32_t retry_index,
+                       util::Rng& rng) {
+  if (retry_index == 0) retry_index = 1;
+  double d = static_cast<double>(policy.backoff_base_ns) *
+             std::pow(policy.backoff_multiplier,
+                      static_cast<double>(retry_index - 1));
+  d = std::min(d, static_cast<double>(policy.backoff_max_ns));
+  // Always draw, so the jitter stream position depends only on how many
+  // delays were computed — not on the jitter setting.
+  const double u = rng.NextDouble();
+  if (policy.jitter > 0.0) {
+    d *= 1.0 - policy.jitter + 2.0 * policy.jitter * u;
+  }
+  return static_cast<sim::Tick>(std::llround(std::max(d, 0.0)));
+}
+
+}  // namespace nlss::host

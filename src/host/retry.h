@@ -1,0 +1,40 @@
+// Deterministic retry/timeout/backoff policy for the host initiator.
+//
+// Exponential backoff with multiplicative jitter drawn from the caller's
+// seeded RNG stream: two runs with the same seed produce bit-identical
+// delay sequences (the DES clock supplies time, the RNG supplies jitter,
+// nothing touches wall-clock or global state).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nlss::host {
+
+struct RetryPolicy {
+  /// Total attempts per op, including the first (hedges excluded).
+  std::uint32_t max_attempts = 4;
+  /// Per-attempt timeout: an attempt with no reply by then is abandoned
+  /// and re-driven (the reply, if it ever lands, is handled by the
+  /// idempotency guard).
+  sim::Tick request_timeout_ns = 50 * util::kNsPerMs;
+  /// Whole-op deadline from first issue; 0 = no deadline.
+  sim::Tick op_deadline_ns = 0;
+  /// Backoff before retry k (1-based): base * multiplier^(k-1), capped.
+  sim::Tick backoff_base_ns = 200 * util::kNsPerUs;
+  double backoff_multiplier = 2.0;
+  sim::Tick backoff_max_ns = 20 * util::kNsPerMs;
+  /// Multiplicative jitter fraction in [0,1): the delay is drawn uniformly
+  /// from [d*(1-jitter), d*(1+jitter)).
+  double jitter = 0.5;
+};
+
+/// Backoff delay before retry `retry_index` (1-based).  Deterministic in
+/// (policy, retry_index, rng stream position).
+sim::Tick BackoffDelay(const RetryPolicy& policy, std::uint32_t retry_index,
+                       util::Rng& rng);
+
+}  // namespace nlss::host

@@ -225,6 +225,19 @@ proto::HttpResponse AdminHttp::Traces(const std::string& query) const {
   if (const auto it = params.find("tenant"); it != params.end()) {
     tenant = it->second;
   }
+  std::string name;  // substring match on the root span name
+  if (const auto it = params.find("name"); it != params.end()) {
+    name = it->second;
+  }
+  // view=slowest (default) serves the top-K retained traces; view=recent
+  // serves the ring buffer of the latest finished traces, oldest first.
+  std::string view = "slowest";
+  if (const auto it = params.find("view"); it != params.end()) {
+    view = it->second;
+  }
+  if (view != "slowest" && view != "recent") {
+    return Json(400, "{\"error\":\"invalid view\"}");
+  }
   std::uint64_t min_us = 0;
   if (const auto it = params.find("min_us"); it != params.end()) {
     const auto& v = it->second;
@@ -236,14 +249,26 @@ proto::HttpResponse AdminHttp::Traces(const std::string& query) const {
   }
 
   const obs::Tracer& tracer = hub_->tracer();
+  std::vector<const obs::FinishedTrace*> selected;
+  if (view == "recent") {
+    for (const obs::FinishedTrace& t : tracer.recent()) selected.push_back(&t);
+  } else {
+    for (const obs::FinishedTrace& t : tracer.slowest()) {
+      selected.push_back(&t);
+    }
+  }
+
   JsonWriter w;
   w.BeginObject();
   w.Field("started", tracer.started());
   w.Field("sampled", tracer.sampled());
   w.Field("finished", tracer.finished());
+  w.Field("view", view);
   w.Key("traces").BeginArray();
-  for (const obs::FinishedTrace& t : tracer.slowest()) {
+  for (const obs::FinishedTrace* tp : selected) {
+    const obs::FinishedTrace& t = *tp;
     if (!tenant.empty() && t.tenant != tenant) continue;
+    if (!name.empty() && t.name.find(name) == std::string::npos) continue;
     if (t.duration() < min_us * 1000) continue;
     w.BeginObject();
     w.Field("id", t.id);

@@ -12,8 +12,11 @@
 //   GET /qos/weight?class=<gold|silver|bronze>&weight=<n>
 //                        runtime WFQ weight reconfiguration
 //   GET /metrics         Prometheus text exposition (obs hub attached)
-//   GET /traces?tenant=<name>&min_us=<n>
-//                        slowest retained traces with per-layer breakdowns
+//   GET /traces?tenant=<t>&name=<substr>&min_us=<n>&view=<slowest|recent>
+//                        retained traces with per-layer breakdowns:
+//                        view=slowest (default) is the top-K retained set,
+//                        view=recent the ring buffer of latest finished
+//                        traces; name= filters on the root span name
 #pragma once
 
 #include <optional>

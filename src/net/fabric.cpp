@@ -79,6 +79,16 @@ void Fabric::SetLinkUp(NodeId a, NodeId b, bool up) {
   routes_valid_ = false;
 }
 
+void Fabric::SetLinkDegraded(NodeId a, NodeId b, sim::Tick extra_ns,
+                             std::uint32_t stall_every, sim::Tick stall_ns) {
+  for (const std::size_t li : {FindLinkIndex(a, b), FindLinkIndex(b, a)}) {
+    if (li == static_cast<std::size_t>(-1)) continue;
+    links_[li].extra_ns = extra_ns;
+    links_[li].stall_every = stall_every;
+    links_[li].stall_ns = stall_ns;
+  }
+}
+
 void Fabric::EnsureRoutes() {
   if (routes_valid_) return;
   const std::size_t n = nodes_.size();
@@ -189,7 +199,11 @@ void Fabric::Send(NodeId src, NodeId dst, std::uint64_t bytes,
       l.stats.bytes += bytes;
       l.stats.messages += 1;
       l.stats.busy_ns += ser;
-      const sim::Tick arrival = start + ser + l.profile.latency_ns;
+      sim::Tick degrade = l.extra_ns;
+      if (l.stall_every > 0 && l.stats.messages % l.stall_every == 0) {
+        degrade += l.stall_ns;
+      }
+      const sim::Tick arrival = start + ser + l.profile.latency_ns + degrade;
       const NodeId next = l.to;
       // Copy the Transit by value into the event so it survives this frame.
       Transit self = std::move(*this);

@@ -73,6 +73,15 @@ class Fabric {
   /// Mark the link between a and b up/down (both directions).
   void SetLinkUp(NodeId a, NodeId b, bool up);
 
+  /// Degrade the link between a and b (both directions): every message
+  /// pays `extra_ns` additional latency, and — when `stall_every` > 0 —
+  /// every stall_every-th message on each direction additionally stalls
+  /// `stall_ns` (a deterministic model of periodic firmware pauses or
+  /// congestion bursts; the count is per direction, seeded at 0).  Pass
+  /// all-zeros to clear.  Used for degraded-path fault injection.
+  void SetLinkDegraded(NodeId a, NodeId b, sim::Tick extra_ns,
+                       std::uint32_t stall_every = 0, sim::Tick stall_ns = 0);
+
   std::size_t NodeCount() const { return nodes_.size(); }
   const std::string& NodeName(NodeId n) const { return nodes_[n].name; }
   std::uint64_t dropped() const { return dropped_; }
@@ -95,6 +104,10 @@ class Fabric {
     sim::Tick busy_until = 0;  // FIFO serialization horizon
     bool up = true;
     LinkStats stats;
+    // Degradation injection (SetLinkDegraded).
+    sim::Tick extra_ns = 0;
+    std::uint32_t stall_every = 0;
+    sim::Tick stall_ns = 0;
   };
   struct Node {
     std::string name;

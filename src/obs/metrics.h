@@ -4,6 +4,12 @@
 // GET /metrics renders every entry in sorted order.  Callback gauges pull
 // their value at render time, which lets existing per-module Stats structs
 // feed the registry without duplicating bookkeeping.
+//
+// Instruments may carry a label set (`nlss_qos_ops_total{tenant="lab-a"}`):
+// the same family name can hold one flat series plus any number of
+// labelled series, each an independent instrument.  Labels are sorted by
+// key at registration so the rendered identity is canonical, and the whole
+// family shares one HELP/TYPE header in the exposition.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +17,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 
 namespace nlss::obs {
+
+/// Label set for one series, e.g. {{"tenant","lab-a"},{"path","0"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
@@ -38,21 +49,26 @@ class Gauge {
 class Registry {
  public:
   /// Look up or create; the returned reference is stable for the
-  /// registry's lifetime.  Re-registering an existing name returns the
-  /// existing instrument (help text from the first registration wins).
-  Counter& counter(const std::string& name, const std::string& help);
-  Gauge& gauge(const std::string& name, const std::string& help);
-  util::Histogram& histogram(const std::string& name, const std::string& help);
+  /// registry's lifetime.  Re-registering an existing (name, labels) pair
+  /// returns the existing instrument (help from the first registration
+  /// wins).  An empty label set is the flat series of the family.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  util::Histogram& histogram(const std::string& name, const std::string& help,
+                             const Labels& labels = {});
 
   /// Gauge whose value is pulled from `fn` at render time.
   void AddCallback(const std::string& name, const std::string& help,
-                   std::function<double()> fn);
+                   std::function<double()> fn, const Labels& labels = {});
 
   std::size_t size() const { return entries_.size(); }
 
   /// Prometheus text exposition: counters and gauges verbatim, histograms
   /// as summaries (p50/p99 quantiles + _count + _sum).  Deterministic:
-  /// entries render in name order.
+  /// families render in name order, series in label order, and each family
+  /// gets exactly one HELP/TYPE header.
   std::string PrometheusText() const;
 
  private:
@@ -65,10 +81,15 @@ class Registry {
     std::unique_ptr<util::Histogram> histogram;
     std::function<double()> callback;
   };
+  /// Map key: (family name, canonical rendered label block).  The label
+  /// block is "" for the flat series or `{k="v",...}` sorted by key, so
+  /// series of one family are adjacent and deterministically ordered.
+  using Key = std::pair<std::string, std::string>;
 
-  Entry& Ensure(const std::string& name, const std::string& help, Kind kind);
+  Entry& Ensure(const std::string& name, const Labels& labels,
+                const std::string& help, Kind kind);
 
-  std::map<std::string, Entry> entries_;  // sorted => deterministic render
+  std::map<Key, Entry> entries_;  // sorted => deterministic render
 };
 
 }  // namespace nlss::obs

@@ -16,6 +16,8 @@ constexpr sim::Tick kOpen = std::numeric_limits<sim::Tick>::max();
 
 const char* LayerName(Layer layer) {
   switch (layer) {
+    case Layer::kHost:
+      return "host";
     case Layer::kProto:
       return "proto";
     case Layer::kController:
@@ -192,6 +194,10 @@ void Tracer::EndTrace(const TraceContext& root, bool ok) {
   aggregate_.Add(trace.breakdown);
   ++finished_;
 
+  if (config_.keep_recent > 0) {
+    recent_.push_back(trace);
+    if (recent_.size() > config_.keep_recent) recent_.pop_front();
+  }
   slowest_.push_back(std::move(trace));
   std::sort(slowest_.begin(), slowest_.end(),
             [](const FinishedTrace& x, const FinishedTrace& y) {
@@ -214,7 +220,7 @@ std::string Tracer::Dump() const {
         << aggregate_.self[i];
   }
   out << "\n";
-  for (const FinishedTrace& t : slowest_) {
+  const auto dump_trace = [&out](const FinishedTrace& t) {
     out << "trace id=" << t.id << " name=" << t.name << " tenant=" << t.tenant
         << " ok=" << (t.ok ? 1 : 0) << " start=" << t.start
         << " end=" << t.end << " dur=" << t.duration() << "\n";
@@ -224,7 +230,10 @@ std::string Tracer::Dump() const {
           << " note=" << s.note << " start=" << s.start << " end=" << s.end
           << "\n";
     }
-  }
+  };
+  for (const FinishedTrace& t : slowest_) dump_trace(t);
+  out << "recent:\n";
+  for (const FinishedTrace& t : recent_) dump_trace(t);
   return out.str();
 }
 

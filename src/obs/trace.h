@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,7 @@ using SpanId = std::uint64_t;
 
 /// Stack layer a span is attributed to by the critical-path analyzer.
 enum class Layer : std::uint8_t {
+  kHost,        // host initiator (path selection, hedges, retries, backoff)
   kProto,       // protocol export (block target / file server)
   kController,  // StorageSystem entry + blade logic
   kQos,         // admission queue wait
@@ -40,7 +42,7 @@ enum class Layer : std::uint8_t {
   kGeo,         // cross-site replication hops
   kOther,
 };
-inline constexpr int kLayerCount = 9;
+inline constexpr int kLayerCount = 10;
 const char* LayerName(Layer layer);
 
 class Tracer;
@@ -83,8 +85,9 @@ struct Breakdown {
   sim::Tick disk() const { return of(Layer::kDisk); }
   /// Everything that is not queueing, network, or disk mechanics.
   sim::Tick service() const {
-    return of(Layer::kProto) + of(Layer::kController) + of(Layer::kCache) +
-           of(Layer::kRaid) + of(Layer::kGeo) + of(Layer::kOther);
+    return of(Layer::kHost) + of(Layer::kProto) + of(Layer::kController) +
+           of(Layer::kCache) + of(Layer::kRaid) + of(Layer::kGeo) +
+           of(Layer::kOther);
   }
   sim::Tick SelfSum() const {
     sim::Tick s = 0;
@@ -120,6 +123,9 @@ class Tracer {
     std::uint64_t seed = 0x0b5e7ace;
     /// Top-K slowest finished traces retained for export.
     std::size_t keep_slowest = 16;
+    /// Ring buffer of the most recent finished traces (workload-mix
+    /// debugging: the slowest-K view hides the common case).
+    std::size_t keep_recent = 32;
   };
 
   explicit Tracer(sim::Engine& engine) : Tracer(engine, Config()) {}
@@ -150,6 +156,8 @@ class Tracer {
   const Breakdown& aggregate() const { return aggregate_; }
   /// Slowest finished traces, duration-descending (ties: lower id first).
   const std::vector<FinishedTrace>& slowest() const { return slowest_; }
+  /// Most recent finished traces, oldest first (ring of keep_recent).
+  const std::deque<FinishedTrace>& recent() const { return recent_; }
   const Config& config() const { return config_; }
 
   /// Deterministic text dump of the retained traces (digest input for the
@@ -169,6 +177,7 @@ class Tracer {
   util::Rng rng_;
   std::unordered_map<TraceId, Active> active_;
   std::vector<FinishedTrace> slowest_;
+  std::deque<FinishedTrace> recent_;
   Breakdown aggregate_;
   std::uint64_t started_ = 0;
   std::uint64_t sampled_ = 0;

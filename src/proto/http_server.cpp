@@ -67,26 +67,36 @@ std::string RenderHttpHead(const HttpResponse& r) {
   return out.str();
 }
 
-void HttpServer::Respond(Callback& cb, HttpResponse r) {
+void HttpServer::Respond(Callback& cb, HttpResponse r, obs::TraceContext ctx) {
   ++served_;
   bytes_ += r.body.size();
+  if (ctx.sampled()) {
+    ctx.tracer->Annotate(ctx, "status=" + std::to_string(r.status));
+    ctx.tracer->EndTrace(ctx, r.status < 400);
+  }
   cb(std::move(r));
 }
 
 void HttpServer::Handle(const HttpRequest& request, Callback cb) {
+  obs::TraceContext ctx;
+  if (hub_ != nullptr) {
+    ctx = hub_->tracer().StartTrace(
+        obs::Layer::kProto,
+        request.method == "HEAD" ? "proto.http.head" : "proto.http.get");
+  }
   const fs::Inode* inode = fs_.Stat(request.path);
   if (inode == nullptr) {
     HttpResponse r;
     r.status = 404;
     r.reason = "Not Found";
-    Respond(cb, std::move(r));
+    Respond(cb, std::move(r), ctx);
     return;
   }
   if (inode->type != fs::FileType::kFile) {
     HttpResponse r;
     r.status = 403;
     r.reason = "Forbidden";
-    Respond(cb, std::move(r));
+    Respond(cb, std::move(r), ctx);
     return;
   }
 
@@ -100,7 +110,7 @@ void HttpServer::Handle(const HttpRequest& request, Callback cb) {
     HttpResponse r;
     r.status = 416;
     r.reason = "Range Not Satisfiable";
-    Respond(cb, std::move(r));
+    Respond(cb, std::move(r), ctx);
     return;
   }
   const std::uint64_t length = inode->size == 0 ? 0 : end - begin + 1;
@@ -116,24 +126,26 @@ void HttpServer::Handle(const HttpRequest& request, Callback cb) {
   }
 
   if (request.method == "HEAD" || length == 0) {
-    Respond(cb, std::move(head));
+    Respond(cb, std::move(head), ctx);
     return;
   }
 
   auto shared_cb = std::make_shared<Callback>(std::move(cb));
-  fs_.Read(request.path, begin, length,
-           [this, head = std::move(head), shared_cb](
-               fs::Status st, util::Bytes data) mutable {
-             if (st != fs::Status::kOk) {
-               HttpResponse err;
-               err.status = 500;
-               err.reason = "Internal Server Error";
-               Respond(*shared_cb, std::move(err));
-               return;
-             }
-             head.body = std::move(data);
-             Respond(*shared_cb, std::move(head));
-           });
+  fs_.Read(
+      request.path, begin, length,
+      [this, head = std::move(head), shared_cb, ctx](
+          fs::Status st, util::Bytes data) mutable {
+        if (st != fs::Status::kOk) {
+          HttpResponse err;
+          err.status = 500;
+          err.reason = "Internal Server Error";
+          Respond(*shared_cb, std::move(err), ctx);
+          return;
+        }
+        head.body = std::move(data);
+        Respond(*shared_cb, std::move(head), ctx);
+      },
+      ctx);
 }
 
 void HttpServer::HandleRaw(const std::string& raw, Callback cb) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "fs/filesystem.h"
+#include "obs/hub.h"
 
 namespace nlss::proto {
 
@@ -49,13 +50,20 @@ class HttpServer {
   /// Serve a raw request string (parse + handle).
   void HandleRaw(const std::string& raw, Callback cb);
 
+  /// Trace requests as kProto root traces ("proto.http.get"); the context
+  /// propagates through the filesystem into the controller/cache/disk
+  /// stack, so /traces shows the full blade-side path of an HTTP GET.
+  /// Pass nullptr to detach.
+  void AttachObs(obs::Hub* hub) { hub_ = hub; }
+
   std::uint64_t requests_served() const { return served_; }
   std::uint64_t bytes_served() const { return bytes_; }
 
  private:
-  void Respond(Callback& cb, HttpResponse r);
+  void Respond(Callback& cb, HttpResponse r, obs::TraceContext ctx = {});
 
   fs::FileSystem& fs_;
+  obs::Hub* hub_ = nullptr;
   std::uint64_t served_ = 0;
   std::uint64_t bytes_ = 0;
 };

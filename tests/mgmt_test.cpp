@@ -322,6 +322,65 @@ TEST_F(MgmtTest, AdminHttpObsRoutes) {
   EXPECT_EQ(get("/traces?min_us=abc").status, 400);
 }
 
+TEST_F(MgmtTest, AdminHttpTraceViewsAndLabelledQosMetrics) {
+  crypto::KeyStore keys(std::string_view("m"));
+  security::AuthService auth(engine_, keys);
+  security::AuditLog audit(engine_);
+  AlertManager alerts(engine_);
+  auth.AddUser("root", "pw", {"admin"});
+  AdminHttp admin(*system_, auth, alerts, audit);
+  const auto token = *auth.Login("root", "pw");
+  const auto get = [&](const std::string& path) {
+    return admin.Handle("GET " + path + " HTTP/1.0\r\nAuthorization: " +
+                        token + "\r\n\r\n");
+  };
+
+  obs::Hub hub(engine_);
+  admin.AttachObs(&hub);
+  system_->AttachObs(&hub);
+  qos::TenantRegistry registry;
+  registry.Register("lab-a", qos::ServiceClass::kGold);
+  qos::Scheduler qos(engine_, registry, system_->controller_count());
+  system_->AttachQos(&qos);
+
+  const auto vol = system_->CreateVolume("lab-a", 8 * util::MiB);
+  bool ok = false;
+  system_->Write(host_, vol, 0, Pattern(64 * util::KiB, 1),
+                 [&](bool r) { ok = r; });
+  engine_.Run();
+  ASSERT_TRUE(ok);
+  system_->Read(host_, vol, 0, 64 * util::KiB, [](bool, util::Bytes) {});
+  engine_.Run();
+
+  // /metrics serves the per-tenant labelled QoS series.
+  auto r = get("/metrics");
+  EXPECT_EQ(r.status, 200);
+  std::string body(r.body.begin(), r.body.end());
+  EXPECT_NE(body.find("nlss_qos_ops_total{tenant=\"lab-a\"} 2"),
+            std::string::npos)
+      << body;
+
+  // name= filters on the root span name (substring).
+  body = [&] {
+    auto resp = get("/traces?name=read");
+    return std::string(resp.body.begin(), resp.body.end());
+  }();
+  EXPECT_NE(body.find("\"name\":\"controller.read\""), std::string::npos);
+  EXPECT_EQ(body.find("\"name\":\"controller.write\""), std::string::npos);
+
+  // view=recent serves the ring buffer; both ops are in it.
+  body = [&] {
+    auto resp = get("/traces?view=recent");
+    return std::string(resp.body.begin(), resp.body.end());
+  }();
+  EXPECT_NE(body.find("\"view\":\"recent\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"controller.read\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"controller.write\""), std::string::npos);
+
+  // Unknown view is rejected.
+  EXPECT_EQ(get("/traces?view=bogus").status, 400);
+}
+
 TEST_F(MgmtTest, GeoStatusReport) {
   geo::GeoCluster cluster(engine_, *fabric_);
   controller::SystemConfig sc;

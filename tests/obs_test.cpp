@@ -160,6 +160,69 @@ TEST(Registry, PrometheusTextIsWellFormedAndSorted) {
   EXPECT_EQ(reg.counter("zzz_ops_total", "Ops").value(), 4u);
 }
 
+TEST(Registry, LabelSetsRenderAsSeriesUnderOneFamily) {
+  Registry reg;
+  // Flat series and two labelled series of the same family coexist.
+  reg.counter("nlss_qos_ops_total", "QoS ops").Increment(5);
+  reg.counter("nlss_qos_ops_total", "QoS ops", {{"tenant", "lab-b"}})
+      .Increment(2);
+  reg.counter("nlss_qos_ops_total", "QoS ops", {{"tenant", "lab-a"}})
+      .Increment(3);
+  const std::string text = reg.PrometheusText();
+
+  // One HELP/TYPE for the family, then every series.
+  EXPECT_EQ(text.find("# HELP nlss_qos_ops_total"),
+            text.rfind("# HELP nlss_qos_ops_total"));
+  EXPECT_NE(text.find("nlss_qos_ops_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("nlss_qos_ops_total{tenant=\"lab-a\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nlss_qos_ops_total{tenant=\"lab-b\"} 2\n"),
+            std::string::npos);
+  // Series order is deterministic: flat first, then label-sorted.
+  EXPECT_LT(text.find("nlss_qos_ops_total 5"),
+            text.find("nlss_qos_ops_total{tenant=\"lab-a\"}"));
+  EXPECT_LT(text.find("tenant=\"lab-a\""), text.find("tenant=\"lab-b\""));
+
+  // Label keys render canonically sorted regardless of insertion order.
+  reg.gauge("multi", "m", {{"b", "2"}, {"a", "1"}}).Set(9);
+  EXPECT_NE(reg.PrometheusText().find("multi{a=\"1\",b=\"2\"} 9\n"),
+            std::string::npos);
+  // Re-lookup with the same labels returns the same instrument.
+  reg.counter("nlss_qos_ops_total", "QoS ops", {{"tenant", "lab-a"}})
+      .Increment();
+  EXPECT_EQ(reg.counter("nlss_qos_ops_total", "QoS ops", {{"tenant", "lab-a"}})
+                .value(),
+            4u);
+
+  // Labelled histograms carry the labels through quantile/sum/count rows.
+  reg.histogram("lat_ns", "Latency", {{"host", "h0"}}).Record(1000);
+  const std::string t2 = reg.PrometheusText();
+  EXPECT_NE(t2.find("lat_ns_count{host=\"h0\"} 1\n"), std::string::npos);
+  EXPECT_NE(t2.find("quantile=\"0.5\""), std::string::npos);
+}
+
+TEST(Tracer, RecentRingKeepsLatestTraces) {
+  sim::Engine engine;
+  Tracer::Config cfg;
+  cfg.keep_slowest = 4;
+  cfg.keep_recent = 3;
+  Tracer tracer(engine, cfg);
+  for (int i = 0; i < 10; ++i) {
+    const TraceContext c =
+        tracer.StartTrace(Layer::kHost, "op" + std::to_string(i));
+    engine.Schedule(10, [] {});
+    engine.Run();
+    tracer.EndTrace(c, true);
+  }
+  ASSERT_EQ(tracer.recent().size(), 3u);
+  // Oldest-first ring of the last three finished traces.
+  EXPECT_EQ(tracer.recent()[0].name, "op7");
+  EXPECT_EQ(tracer.recent()[2].name, "op9");
+  // The ring is part of the deterministic dump (digest input).
+  EXPECT_NE(tracer.Dump().find("recent:"), std::string::npos);
+  EXPECT_NE(tracer.Dump().find("op9"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Acceptance: a traced cache-miss read produces a span tree covering
 // proto -> controller -> qos -> cache -> raid -> disk whose per-layer self

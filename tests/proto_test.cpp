@@ -315,5 +315,51 @@ TEST_F(ProtoTest, HttpHeadOmitsBody) {
   EXPECT_TRUE(resp.body.empty());
 }
 
+TEST_F(ProtoTest, HttpGetPropagatesTraceContext) {
+  fs::FileSystem fs(*system_);
+  HttpServer http(fs);
+  obs::Hub hub(engine_);
+  system_->AttachObs(&hub);
+  http.AttachObs(&hub);
+  ASSERT_EQ(fs.Create("/traced.bin"), fs::Status::kOk);
+  fs.Write("/traced.bin", 0, Pattern(200000, 9), [](fs::Status) {});
+  engine_.Run();
+
+  HttpResponse resp;
+  http.HandleRaw("GET /traced.bin HTTP/1.0\r\n\r\n",
+                 [&](HttpResponse r) { resp = std::move(r); });
+  engine_.Run();
+  ASSERT_EQ(resp.status, 200);
+
+  // The GET is one root trace whose context flowed through the filesystem
+  // into the controller stack: deeper-layer spans hang off the same trace.
+  const obs::FinishedTrace* get_trace = nullptr;
+  for (const auto& t : hub.tracer().recent()) {
+    if (t.name == "proto.http.get") get_trace = &t;
+  }
+  ASSERT_NE(get_trace, nullptr) << hub.tracer().Dump();
+  EXPECT_TRUE(get_trace->ok);
+  bool saw_controller = false, saw_status_note = false;
+  for (const auto& s : get_trace->spans) {
+    if (s.layer == obs::Layer::kController) saw_controller = true;
+    if (s.note.find("status=200") != std::string::npos) {
+      saw_status_note = true;
+    }
+  }
+  EXPECT_TRUE(saw_controller)
+      << "controller span must be a child of the HTTP trace";
+  EXPECT_TRUE(saw_status_note);
+  EXPECT_GT(get_trace->duration(), 0u);
+
+  // A 404 finishes the trace as not-ok.
+  http.HandleRaw("GET /nosuch HTTP/1.0\r\n\r\n", [](HttpResponse) {});
+  engine_.Run();
+  bool saw_failed = false;
+  for (const auto& t : hub.tracer().recent()) {
+    if (t.name == "proto.http.get" && !t.ok) saw_failed = true;
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
 }  // namespace
 }  // namespace nlss::proto
