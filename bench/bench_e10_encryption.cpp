@@ -19,6 +19,8 @@
 namespace nlss::bench {
 namespace {
 
+// Real-hardware kernel throughput bench, outside the deterministic sim.
+// nlss-lint: allow(wallclock)
 using Clock = std::chrono::steady_clock;
 
 double MeasureGBps(std::size_t threads,

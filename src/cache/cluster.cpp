@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <map>
 #include <memory>
+
+#include "check/invariant.h"
 
 namespace nlss::cache {
 namespace {
@@ -98,6 +101,16 @@ CacheCluster::FrameExtra& CacheCluster::Extra(ControllerId ctrl,
 
 void CacheCluster::EraseExtra(ControllerId ctrl, const PageKey& key) {
   extra_[ctrl].erase(key);
+}
+
+bool CacheCluster::DirtyElsewhere(ControllerId except,
+                                  const PageKey& key) const {
+  for (std::size_t c = 0; c < ctrls_.size(); ++c) {
+    if (static_cast<ControllerId>(c) == except || !ctrls_[c]->alive) continue;
+    const CacheNode::Frame* f = ctrls_[c]->cache.Find(key);
+    if (f != nullptr && f->dirty && !f->is_replica) return true;
+  }
+  return false;
 }
 
 void CacheCluster::EnsureRoom(ControllerId ctrl) {
@@ -222,15 +235,24 @@ void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
   }
   ex.flushing = true;
   f->busy = true;
+  // Background write-backs get their own root span — they never ride on a
+  // request trace, so without this they are invisible in the trace view.
+  obs::TraceContext flush_ctx;
+  if (tracer_ != nullptr) {
+    flush_ctx = tracer_->StartTrace(obs::Layer::kOther, "cache.flush");
+    if (flush_ctx.sampled()) {
+      tracer_->Annotate(flush_ctx, "ctrl=" + std::to_string(ctrl));
+    }
+  }
   const std::uint64_t epoch = f->dirty_epoch;
   // Charge the owning controller's data engine for the write-back.
   const sim::Tick compute_done =
       c.compute.AcquireBytes(config_.page_bytes, config_.serve_ns_per_byte);
   util::Bytes snapshot = f->data;
-  engine_.ScheduleAt(compute_done, [this, ctrl, key, epoch,
+  engine_.ScheduleAt(compute_done, [this, ctrl, key, epoch, flush_ctx,
                                     snapshot = std::move(snapshot),
                                     cb = std::move(cb)]() mutable {
-    WriteToBacking(ctrl, key, snapshot, [this, ctrl, key, epoch,
+    WriteToBacking(ctrl, key, snapshot, [this, ctrl, key, epoch, flush_ctx,
                                    cb = std::move(cb)](bool ok) mutable {
       Controller& c = *ctrls_[ctrl];
       CacheNode::Frame* f = c.cache.Find(key);
@@ -261,6 +283,9 @@ void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
         f->busy = false;
       }
       ex.flushing = false;
+      if (flush_ctx.sampled()) {
+        flush_ctx.tracer->EndTrace(flush_ctx, ok && !still_dirty);
+      }
       auto waiters = std::move(ex.flush_waiters);
       ex.flush_waiters.clear();
       for (auto& w : waiters) engine_.Schedule(0, std::move(w));
@@ -269,7 +294,7 @@ void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
       } else if (cb) {
         cb(ok);
       }
-    });
+    }, flush_ctx);
   });
 }
 
@@ -602,7 +627,19 @@ void CacheCluster::HandleGetX(ControllerId via, PageKey key,
           f.replica_owner = kNoController;
           ++f.dirty_epoch;
           DirEntry& e = dir_[home][key];
+          // Holders were just invalidated: the new owner must be the only
+          // node carrying this page dirty, and ownership transfer only
+          // moves forward in simulated time.
+          NLSS_INVARIANT(kCache, !DirtyElsewhere(via, key),
+                         "page dirty on two nodes (new owner %u)",
+                         static_cast<unsigned>(via));
+          NLSS_INVARIANT(kCache, engine_.now() >= e.owner_since,
+                         "ownership transfer went backwards: now=%llu "
+                         "owner_since=%llu",
+                         static_cast<unsigned long long>(engine_.now()),
+                         static_cast<unsigned long long>(e.owner_since));
           e.owner = via;
+          e.owner_since = engine_.now();
           e.sharers.clear();
           ctrls_[via]->stats.bytes_served += data.size();
           const sim::Tick done = ctrls_[via]->compute.AcquireBytes(
@@ -887,7 +924,11 @@ void CacheCluster::CrashController(ControllerId ctrl) {
 
 void CacheCluster::ReviveController(ControllerId ctrl) {
   Controller& c = *ctrls_[ctrl];
-  assert(!c.alive);
+  // Legal after FailController (alive=false) OR CrashController (alive
+  // still true — the cluster never noticed — but the fabric node is down).
+  NLSS_INVARIANT(kCache, !c.alive || !fabric_.IsNodeUp(c.node),
+                 "reviving controller %u that is alive and reachable",
+                 static_cast<unsigned>(ctrl));
   c.alive = true;
   c.cache.Clear();
   extra_[ctrl].clear();
@@ -917,8 +958,10 @@ void CacheCluster::Recover() {
     });
   }
 
-  // Pass 2: find replicas orphaned by dead owners.
-  std::unordered_map<PageKey, std::vector<ControllerId>, PageKeyHash> orphans;
+  // Pass 2: find replicas orphaned by dead owners.  Ordered map: pass 3
+  // promotes owners and issues flushes in iteration order, which must not
+  // depend on hash layout.
+  std::map<PageKey, std::vector<ControllerId>> orphans;
   for (const ControllerId c : live_) {
     ctrls_[c]->cache.ForEach([&](const PageKey& key,
                                  const CacheNode::Frame& f) {
@@ -944,11 +987,23 @@ void CacheCluster::Recover() {
     const ControllerId promoted = holders.front();
     CacheNode::Frame* f = ctrls_[promoted]->cache.Find(key);
     assert(f != nullptr);
+    // Promotion is an ownership transfer too: the dead owner's page must
+    // not be dirty anywhere else among the survivors.
+    NLSS_INVARIANT(kCache, !DirtyElsewhere(promoted, key),
+                   "orphan promotion found page dirty on another node "
+                   "(promoted %u)",
+                   static_cast<unsigned>(promoted));
     f->is_replica = false;
     f->replica_owner = kNoController;
     f->dirty = true;
     ++f->dirty_epoch;
+    NLSS_INVARIANT(kCache, engine_.now() >= e.owner_since,
+                   "recover ownership transfer went backwards: now=%llu "
+                   "owner_since=%llu",
+                   static_cast<unsigned long long>(engine_.now()),
+                   static_cast<unsigned long long>(e.owner_since));
     e.owner = promoted;
+    e.owner_since = engine_.now();
     e.sharers.erase(promoted);
     FrameExtra& ex = Extra(promoted, key);
     ex.replica_sites.assign(holders.begin() + 1, holders.end());

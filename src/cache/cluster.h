@@ -119,6 +119,10 @@ class CacheCluster {
   /// replicas of dead owners to dirty pages (then flush them).
   void Recover();
 
+  /// Root-trace background flush write-backs as "cache.flush" spans.
+  /// Pass nullptr to detach.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Return a failed controller to service with an empty cache (replaced
   /// or upgraded blade).  Call Recover() afterwards to rebalance homes.
   void ReviveController(ControllerId ctrl);
@@ -155,6 +159,7 @@ class CacheCluster {
     std::set<ControllerId> sharers;
     bool busy = false;
     std::deque<std::function<void()>> waiters;
+    sim::Tick owner_since = 0;  // invariant: ownership transfer is monotone
   };
 
   struct FrameExtra {
@@ -233,6 +238,11 @@ class CacheCluster {
   FrameExtra& Extra(ControllerId ctrl, const PageKey& key);
   void EraseExtra(ControllerId ctrl, const PageKey& key);
 
+  /// True if any live controller other than `except` holds `key` dirty as
+  /// a primary (non-replica) frame.  Invariant probe: the coherence
+  /// protocol must never let a page be dirty on two nodes.
+  bool DirtyElsewhere(ControllerId except, const PageKey& key) const;
+
   sim::Engine& engine_;
   net::Fabric& fabric_;
   Config config_;
@@ -245,6 +255,7 @@ class CacheCluster {
   std::vector<std::unordered_map<PageKey, FrameExtra, PageKeyHash>> extra_;
   // Readahead fetches currently in flight (suppresses duplicates).
   std::unordered_map<PageKey, bool, PageKeyHash> readahead_inflight_;
+  obs::Tracer* tracer_ = nullptr;  // roots "cache.flush" background spans
 };
 
 }  // namespace nlss::cache

@@ -53,14 +53,16 @@ class CacheNode {
   /// Drop every frame (controller failure).
   void Clear();
 
-  /// Iterate frames (directory rebuild, replica promotion).
+  /// Iterate frames (directory rebuild, replica promotion).  Walks the LRU
+  /// list rather than the hash map so visit order is deterministic — the
+  /// callbacks feed directory state and therefore the digest.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [key, entry] : frames_) fn(key, entry.frame);
+    for (const PageKey& key : lru_) fn(key, frames_.find(key)->second.frame);
   }
   template <typename Fn>
   void ForEachMutable(Fn&& fn) {
-    for (auto& [key, entry] : frames_) fn(key, entry.frame);
+    for (const PageKey& key : lru_) fn(key, frames_.find(key)->second.frame);
   }
 
  private:

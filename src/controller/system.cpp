@@ -172,6 +172,9 @@ void StorageSystem::RegisterQosMetrics() {
 
 void StorageSystem::AttachObs(obs::Hub* hub) {
   hub_ = hub;
+  // Background work (flush write-backs, rebuild jobs) roots its own spans.
+  cache_->SetTracer(hub_ == nullptr ? nullptr : &hub_->tracer());
+  rebuild_->SetTracer(hub_ == nullptr ? nullptr : &hub_->tracer());
   if (hub_ == nullptr) {
     reads_total_ = writes_total_ = io_failures_total_ = nullptr;
     read_latency_ns_ = write_latency_ns_ = nullptr;

@@ -300,10 +300,21 @@ void GeoCluster::PumpQueue(SiteId from, SiteId to) {
   // The head stays queued until it is applied at the target: un-shipped
   // AND in-flight updates both count as RPO exposure if the source dies.
   auto update = std::make_shared<AsyncUpdate>(q.q.front());
+  // Each shipment attempt is a background root span (layer kGeo) — async
+  // replication never rides on the originating write's trace.
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    ctx = tracer_->StartTrace(obs::Layer::kGeo, "geo.replicate");
+    if (ctx.sampled()) {
+      tracer_->Annotate(ctx, "path=" + update->path + " bytes=" +
+                                 std::to_string(update->data.size()));
+    }
+  }
   Ship(from, to, update->data.size(),
-       [this, from, to, update] {
+       [this, from, to, update, ctx] {
          ApplyRemoteWrite(to, update->path, update->offset, update->data,
-                          [this, from, to, update](bool) {
+                          [this, from, to, update, ctx](bool) {
+                            if (ctx.sampled()) ctx.tracer->EndTrace(ctx, true);
                             AsyncQueue& q2 = async_[{from, to}];
                             if (!q2.q.empty() &&
                                 q2.q.front().path == update->path &&
@@ -314,7 +325,8 @@ void GeoCluster::PumpQueue(SiteId from, SiteId to) {
                             PumpQueue(from, to);
                           });
        },
-       [this, from, to] {
+       [this, from, to, ctx] {
+         if (ctx.sampled()) ctx.tracer->EndTrace(ctx, false);
          // Route down: back off and retry (stops if the source has died).
          engine_.Schedule(10 * util::kNsPerMs,
                           [this, from, to] { PumpQueue(from, to); });

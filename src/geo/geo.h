@@ -39,6 +39,7 @@
 #include "controller/system.h"
 #include "fs/filesystem.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 
 namespace nlss::geo {
 
@@ -138,6 +139,10 @@ class GeoCluster {
 
   const Config& config() const { return config_; }
 
+  /// Root-trace each async replication shipment as a "geo.replicate" span
+  /// (layer kGeo).  Pass nullptr to detach.
+  void AttachObs(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct GeoFile {
     fs::FilePolicy policy;
@@ -192,6 +197,7 @@ class GeoCluster {
   std::map<std::pair<SiteId, SiteId>, AsyncQueue> async_;
   std::vector<std::function<void()>> drain_waiters_;
   LossReport losses_;
+  obs::Tracer* tracer_ = nullptr;  // roots "geo.replicate" background spans
 };
 
 }  // namespace nlss::geo

@@ -65,7 +65,8 @@ void ReplicatedBacking::WriteBlocks(std::uint64_t block,
     return;
   }
   // Asynchronous: ack after the local write; queue the remote copy (the
-  // queue outlives the request, so the shipped copy is untraced).
+  // queue outlives the request, so the shipment gets its own root span in
+  // Pump rather than riding on this request's trace).
   queue_.push_back(Update{block, util::Bytes(data.begin(), data.end())});
   pending_bytes_ += data.size();
   local_.WriteBlocks(block, data, std::move(cb), ctx);
@@ -83,22 +84,37 @@ void ReplicatedBacking::Pump() {
   }
   // Head stays queued until applied remotely (in-flight counts as exposed).
   auto update = std::make_shared<Update>(queue_.front());
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    ctx = tracer_->StartTrace(obs::Layer::kGeo, "geo.replicate");
+    if (ctx.sampled()) {
+      tracer_->Annotate(ctx, "block=" + std::to_string(update->block) +
+                                 " bytes=" +
+                                 std::to_string(update->data.size()));
+    }
+  }
   fabric_.Send(
       local_gw_, remote_gw_, update->data.size(),
-      [this, update] {
-        remote_.WriteBlocks(update->block, update->data, [this](bool) {
-          ++replicated_writes_;
-          if (!queue_.empty()) {
-            pending_bytes_ -= queue_.front().data.size();
-            queue_.pop_front();
-          }
-          Pump();
-        });
+      [this, update, ctx] {
+        remote_.WriteBlocks(
+            update->block, update->data,
+            [this, ctx](bool ok) {
+              if (ctx.sampled()) ctx.tracer->EndTrace(ctx, ok);
+              ++replicated_writes_;
+              if (!queue_.empty()) {
+                pending_bytes_ -= queue_.front().data.size();
+                queue_.pop_front();
+              }
+              Pump();
+            },
+            ctx);
       },
-      [this] {
+      [this, ctx] {
+        if (ctx.sampled()) ctx.tracer->EndTrace(ctx, false);
         // WAN down: back off and retry.
         engine_.Schedule(10 * util::kNsPerMs, [this] { Pump(); });
-      });
+      },
+      ctx);
 }
 
 void ReplicatedBacking::CheckDrained() {

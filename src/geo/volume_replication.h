@@ -59,6 +59,11 @@ class ReplicatedBacking final : public cache::BackingStore {
 
   std::uint64_t replicated_writes() const { return replicated_writes_; }
 
+  /// Root-trace each async shipment as a "geo.replicate" span (layer kGeo)
+  /// — the queue outlives the originating request, so shipped copies are
+  /// otherwise invisible in traces.  Pass nullptr to detach.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Update {
     std::uint64_t block;
@@ -81,6 +86,7 @@ class ReplicatedBacking final : public cache::BackingStore {
   bool primary_failed_ = false;
   std::uint64_t replicated_writes_ = 0;
   std::vector<std::function<void()>> drain_waiters_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace nlss::geo

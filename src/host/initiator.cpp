@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "check/invariant.h"
+
 namespace nlss::host {
 
 Initiator::Initiator(controller::StorageSystem& system, const std::string& name,
@@ -207,7 +209,11 @@ void Initiator::OnAttemptResult(const OpPtr& op, std::uint32_t attempt,
     op->inflight.erase(it);
     active_[path].erase(op->id);
     if (ok) {
+      const PathState prev = paths_[path].state();
       paths_[path].OnSuccess(now - t0);
+      if (prev != PathState::kUp && paths_[path].state() == PathState::kUp) {
+        TracePathEvent(path, "reset");  // trial success closed the breaker
+      }
     } else {
       paths_[path].OnError(now);
     }
@@ -282,6 +288,10 @@ void Initiator::HandleFailure(const OpPtr& op, int failed_path) {
 
 void Initiator::FinishOp(const OpPtr& op, bool ok, util::Bytes data) {
   if (op->done) return;
+  NLSS_INVARIANT(kHost, !op->callback_fired,
+                 "op %llu completing a second time",
+                 static_cast<unsigned long long>(op->id));
+  op->callback_fired = true;
   op->done = true;
   const sim::Tick latency = engine_.now() - op->start;
   if (ok) {
@@ -307,7 +317,10 @@ void Initiator::FinishOp(const OpPtr& op, bool ok, util::Bytes data) {
 void Initiator::MarkPathDown(int path) {
   const sim::Tick now = engine_.now();
   PathHealth& p = paths_[static_cast<std::size_t>(path)];
-  if (p.state() != PathState::kDown) ++stats_.path_down_events;
+  if (p.state() != PathState::kDown) {
+    ++stats_.path_down_events;
+    TracePathEvent(path, "trip");
+  }
   p.MarkDown(now);
   // Abandon this path's in-flight attempts and re-drive their ops
   // immediately — don't wait out the per-attempt timeout.
@@ -381,7 +394,23 @@ void Initiator::ProbePath(int path) {
 
 void Initiator::OnProbeOk(int path) {
   probe_misses_[static_cast<std::size_t>(path)] = 0;
-  paths_[static_cast<std::size_t>(path)].ProbeOk();
+  PathHealth& p = paths_[static_cast<std::size_t>(path)];
+  const bool was_down = p.state() == PathState::kDown;
+  p.ProbeOk();
+  if (was_down && p.state() == PathState::kHalfOpen) {
+    TracePathEvent(path, "half-open");
+  }
+}
+
+void Initiator::TracePathEvent(int path, const char* event) {
+  if (hub_ == nullptr) return;
+  obs::TraceContext ctx =
+      hub_->tracer().StartTrace(obs::Layer::kHost, "host.path");
+  if (!ctx.sampled()) return;
+  ctx.tracer->Annotate(ctx, "host=" + name_ +
+                                " path=" + std::to_string(path) +
+                                " event=" + event);
+  ctx.tracer->EndTrace(ctx, true);
 }
 
 void Initiator::OnProbeMiss(int path) {

@@ -148,6 +148,7 @@ class Initiator {
     sim::Tick start = 0;
     sim::Tick deadline = 0;  // 0 = none
     bool done = false;
+    bool callback_fired = false;  // invariant: completion exactly once
     bool redrive_pending = false;
     bool hedged = false;
     std::uint32_t failures = 0;
@@ -172,6 +173,9 @@ class Initiator {
   sim::Tick HedgeDelay(int path) const;
 
   void MarkPathDown(int path);
+  /// Root "host.path" span recording a breaker transition (trip /
+  /// half-open / reset) so path flaps are visible in traces.
+  void TracePathEvent(int path, const char* event);
   void HeartbeatTick();
   void ProbePath(int path);
   void OnProbeOk(int path);

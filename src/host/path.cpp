@@ -1,5 +1,7 @@
 #include "host/path.h"
 
+#include "check/invariant.h"
+
 namespace nlss::host {
 
 const char* PathStateName(PathState s) {
@@ -37,7 +39,7 @@ void PathHealth::OnSuccess(sim::Tick service_ns) {
   if (outstanding_ > 0) --outstanding_;
   if (trial_outstanding_ > 0) --trial_outstanding_;
   consecutive_errors_ = 0;
-  state_ = PathState::kUp;  // trial success closes the breaker
+  SetState(PathState::kUp);  // trial success closes the breaker
   latency_.Record(service_ns);
   const auto s = static_cast<double>(service_ns);
   ewma_ns_ = ewma_ns_ == 0.0
@@ -65,11 +67,20 @@ void PathHealth::MarkDown(sim::Tick now) {
   // Always restart the reset clock: a failed trial must not leave the
   // breaker immediately re-eligible.
   down_since_ = now;
-  state_ = PathState::kDown;
+  SetState(PathState::kDown);
 }
 
 void PathHealth::ProbeOk() {
-  if (state_ == PathState::kDown) state_ = PathState::kHalfOpen;
+  if (state_ == PathState::kDown) SetState(PathState::kHalfOpen);
+}
+
+void PathHealth::SetState(PathState next) {
+  if (next == state_) return;
+  NLSS_INVARIANT(kHost,
+                 !(state_ == PathState::kUp && next == PathState::kHalfOpen),
+                 "illegal breaker transition %s -> %s",
+                 PathStateName(state_), PathStateName(next));
+  state_ = next;
 }
 
 }  // namespace nlss::host

@@ -77,6 +77,11 @@ class PathHealth {
   void ProbeOk();
 
  private:
+  /// All breaker transitions funnel through here so legality is checked in
+  /// one place: kUp never jumps straight to kHalfOpen (half-open only
+  /// exists as a recovery stage out of kDown).
+  void SetState(PathState next);
+
   std::uint32_t blade_;
   PathConfig config_;
   PathState state_ = PathState::kUp;

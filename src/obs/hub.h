@@ -8,6 +8,7 @@
 #include <span>
 #include <string>
 
+#include "check/invariant.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32c.h"
@@ -27,6 +28,34 @@ class Hub {
     metrics_.AddCallback(
         "nlss_traces_finished_total", "Traces finished and analyzed",
         [this] { return static_cast<double>(tracer_.finished()); });
+    // Invariant-check accounting (src/check).  The check Registry is
+    // process-global and only grows, so export deltas against a baseline
+    // snapshotted here: two same-seed runs in one process then report
+    // identical values and the digest stays stable.
+    for (int i = 0; i < check::kSubsystemCount; ++i) {
+      const auto s = static_cast<check::Subsystem>(i);
+      check_eval_base_[i] = check::Registry::Instance().evaluations(s);
+      check_viol_base_[i] = check::Registry::Instance().violations(s);
+      const Labels labels = {{"subsystem", check::SubsystemName(s)}};
+      metrics_.AddCallback(
+          "nlss_check_evaluations_total",
+          "NLSS_INVARIANT evaluations since hub creation",
+          [this, s, i] {
+            return static_cast<double>(
+                check::Registry::Instance().evaluations(s) -
+                check_eval_base_[i]);
+          },
+          labels);
+      metrics_.AddCallback(
+          "nlss_check_violations_total",
+          "NLSS_INVARIANT violations since hub creation",
+          [this, s, i] {
+            return static_cast<double>(
+                check::Registry::Instance().violations(s) -
+                check_viol_base_[i]);
+          },
+          labels);
+    }
   }
 
   Tracer& tracer() { return tracer_; }
@@ -46,6 +75,8 @@ class Hub {
  private:
   Tracer tracer_;
   Registry metrics_;
+  std::uint64_t check_eval_base_[check::kSubsystemCount] = {};
+  std::uint64_t check_viol_base_[check::kSubsystemCount] = {};
 };
 
 }  // namespace nlss::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.h"
 #include "util/units.h"
 
 namespace nlss::qos {
@@ -37,6 +38,10 @@ void TokenBucket::Refill(sim::Tick now) {
     tokens_ = static_cast<std::int64_t>(burst_);
     frac_ns_ = 0;  // a full bucket does not bank fractional tokens
   }
+  NLSS_INVARIANT(kQos, tokens_ <= static_cast<std::int64_t>(burst_),
+                 "bucket overfilled: tokens=%lld burst=%llu",
+                 static_cast<long long>(tokens_),
+                 static_cast<unsigned long long>(burst_));
 }
 
 std::int64_t TokenBucket::Need(std::uint64_t cost) const {
@@ -54,6 +59,15 @@ bool TokenBucket::TryTake(std::uint64_t cost, sim::Tick now) {
   Refill(now);
   if (tokens_ < Need(cost)) return false;
   tokens_ -= static_cast<std::int64_t>(cost);
+  // Over-burst ops legally drive the balance negative, but debt is bounded
+  // by the over-burst amount (admission required >= Need(cost) tokens).
+  NLSS_INVARIANT(kQos,
+                 tokens_ >= Need(cost) - static_cast<std::int64_t>(cost),
+                 "bucket debt exceeds over-burst bound: tokens=%lld "
+                 "cost=%llu burst=%llu",
+                 static_cast<long long>(tokens_),
+                 static_cast<unsigned long long>(cost),
+                 static_cast<unsigned long long>(burst_));
   return true;
 }
 

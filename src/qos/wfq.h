@@ -65,6 +65,7 @@ class FairQueue {
   struct Flow {
     std::deque<QueuedOp> q;
     std::uint64_t last_finish = 0;
+    std::uint64_t last_start = 0;  // invariant: start tags monotone per flow
   };
 
   std::map<TenantId, Flow> flows_;  // ordered: deterministic scans

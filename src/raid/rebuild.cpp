@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "check/invariant.h"
 
 namespace nlss::raid {
 
@@ -35,6 +38,14 @@ void RebuildEngine::Rebuild(RaidGroup& group, std::uint32_t disk_index,
     job->pending_chunks.push_back(s);
   }
   job->chunks_total = job->pending_chunks.size();
+  if (tracer_ != nullptr) {
+    job->root = tracer_->StartTrace(obs::Layer::kOther, "raid.rebuild");
+    if (job->root.sampled()) {
+      tracer_->Annotate(job->root,
+                        "disk=" + std::to_string(disk_index) + " chunks=" +
+                            std::to_string(job->chunks_total));
+    }
+  }
   jobs_.push_back(job);
   Dispatch();
 }
@@ -112,6 +123,10 @@ void RebuildEngine::RunStripe(int worker, const std::shared_ptr<Job>& job,
     ChunkFinished(worker, job, /*completed=*/true, first_stripe);
     return;
   }
+  NLSS_INVARIANT(kRaid, end_stripe <= job->group->StripeCount(),
+                 "chunk end %llu past group stripe count %llu",
+                 static_cast<unsigned long long>(end_stripe),
+                 static_cast<unsigned long long>(job->group->StripeCount()));
   // Charge the worker's reconstruction compute: it reads width-1 surviving
   // units and produces one unit.
   const std::uint64_t bytes =
@@ -144,10 +159,21 @@ void RebuildEngine::ChunkFinished(int worker, const std::shared_ptr<Job>& job,
   w.busy = false;
   --job->chunks_outstanding;
   if (completed) {
+    // Rebuild never re-does written work: each chunk completes once.
+    NLSS_INVARIANT(kRaid, job->completed_chunks.count(first_stripe) == 0,
+                   "chunk at stripe %llu completed twice",
+                   static_cast<unsigned long long>(first_stripe));
+    if constexpr (check::kEnabled) {
+      job->completed_chunks.insert(first_stripe);
+    }
     ++job->chunks_done;
     ++w.chunks_done;
   } else {
-    // Worker died: hand the chunk back for another controller.
+    // Worker died: hand the chunk back for another controller.  A chunk
+    // already written must never be queued for re-rebuild.
+    NLSS_INVARIANT(kRaid, job->completed_chunks.count(first_stripe) == 0,
+                   "completed chunk at stripe %llu re-queued",
+                   static_cast<unsigned long long>(first_stripe));
     job->pending_chunks.push_front(first_stripe);
   }
   MaybeCompleteJob(job);
@@ -159,6 +185,10 @@ void RebuildEngine::MaybeCompleteJob(const std::shared_ptr<Job>& job) {
   if (job->chunks_done < job->chunks_total && !job->failed) return;
   // Remove from the active list.
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+  if (job->root.sampled()) {
+    job->root.tracer->EndTrace(job->root, !job->failed);
+    job->root = {};
+  }
   if (!job->failed) {
     job->group->FinishRebuild(job->disk_index);
     if (job->on_done) job->on_done(true);

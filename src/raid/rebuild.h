@@ -12,8 +12,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "raid/group.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -48,6 +50,10 @@ class RebuildEngine {
 
   std::size_t ActiveJobs() const { return jobs_.size(); }
 
+  /// Root-trace each rebuild job as "raid.rebuild" (background work is
+  /// otherwise invisible in traces).  Pass nullptr to detach.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Job {
     RaidGroup* group;
@@ -58,6 +64,10 @@ class RebuildEngine {
     std::uint64_t chunks_done = 0;
     bool failed = false;
     std::function<void(bool)> on_done;
+    obs::TraceContext root;  // "raid.rebuild" span covering the whole job
+    /// Invariant bookkeeping (Debug only): chunks already completed, to
+    /// prove rebuild never re-does or re-queues written work.
+    std::set<std::uint64_t> completed_chunks;
   };
   struct Worker {
     sim::Resource* compute = nullptr;
@@ -84,6 +94,7 @@ class RebuildEngine {
   std::vector<std::shared_ptr<Job>> jobs_;
   std::size_t next_job_rr_ = 0;  // round-robin fairness across jobs
   bool dispatch_pending_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace nlss::raid

@@ -3,14 +3,23 @@
 #include <cassert>
 #include <utility>
 
+#include "check/invariant.h"
+
 namespace nlss::sim {
 
 void Engine::ScheduleAt(Tick when, Callback cb) {
-  assert(when >= now_ && "cannot schedule into the past");
+  NLSS_INVARIANT(kSim, when >= now_,
+                 "scheduling into the past: when=%llu now=%llu",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
   queue_.push(Item{when, next_seq_++, std::move(cb)});
 }
 
 void Engine::Execute(Item& item) {
+  NLSS_INVARIANT(kSim, item.when >= now_,
+                 "event pop went backwards: when=%llu now=%llu",
+                 static_cast<unsigned long long>(item.when),
+                 static_cast<unsigned long long>(now_));
   now_ = item.when;
   ++executed_;
   item.cb();

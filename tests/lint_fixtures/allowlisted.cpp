@@ -1,0 +1,19 @@
+// Fixture: allowlist comments suppress findings on their line or the line
+// below; allow-file suppresses a rule for the whole file.
+// nlss-lint: allow-file(rand)
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+long Bench() {
+  // nlss-lint: allow(wallclock)
+  auto t = std::chrono::steady_clock::now();  // suppressed: line above
+  return t.time_since_epoch().count() + rand();  // rand: file-wide allow
+}
+
+std::uint64_t Reduce(const std::unordered_map<int, std::uint64_t>& m) {
+  std::uint64_t total = 0;
+  // Order-insensitive sum.  nlss-lint: allow(unordered-iter)
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: ordering a std container by raw pointer value is
+// address-dependent and varies run to run.
+#include <map>
+#include <set>
+
+struct Session {
+  int id;
+};
+
+int CountSessions() {
+  std::set<Session*> live;                 // line 11: pointer-key
+  std::map<const Session*, int> refs;      // line 12: pointer-key
+  std::map<int, Session*> by_id;           // pointer VALUE is fine
+  (void)by_id;
+  return static_cast<int>(live.size() + refs.size());
+}

@@ -1,0 +1,9 @@
+// Fixture: global/unseeded randomness must be flagged.
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device rd;  // line 6: rand (entropy source)
+  srand(rd());            // line 7: rand (srand)
+  return rand() % 6;      // line 8: rand (std::rand call)
+}

@@ -1,0 +1,15 @@
+// Fixture: default-constructed std engines use a fixed implicit seed (or,
+// for default_random_engine, an implementation-defined sequence).
+#include <random>
+
+unsigned Draw() {
+  std::mt19937 gen;                 // line 6: rng-seed (default seed)
+  std::mt19937_64 gen64{};          // line 7: rng-seed
+  std::default_random_engine eng;   // line 8: rng-seed (impl-defined)
+  return static_cast<unsigned>(gen() + gen64() + eng());
+}
+
+unsigned Seeded() {
+  std::mt19937 ok(12345);  // explicitly seeded: not flagged
+  return ok();
+}

@@ -1,0 +1,18 @@
+// Fixture: iterating an unordered container feeds hash order downstream.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<std::string, std::uint64_t>;
+
+std::uint64_t Sum(const std::unordered_map<int, std::uint64_t>& counts,
+                  const std::unordered_set<int>& live, const Index& index) {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : counts) total += v;  // line 12: unordered-iter
+  for (const int id : live) total += id;         // line 13: unordered-iter
+  for (auto it = index.begin(); it != index.end(); ++it) {  // line 14
+    total += it->second;
+  }
+  return total + counts.count(3) + live.count(7);  // point lookups: clean
+}

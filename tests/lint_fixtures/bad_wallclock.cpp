@@ -1,0 +1,18 @@
+// Fixture: wall-clock time sources outside src/sim must be flagged.
+#include <chrono>
+#include <ctime>
+
+long Now() {
+  auto a = std::chrono::steady_clock::now();          // line 6: wallclock
+  auto b = std::chrono::system_clock::now();          // line 7: wallclock
+  auto c = std::chrono::high_resolution_clock::now(); // line 8: wallclock
+  (void)b;
+  (void)c;
+  return a.time_since_epoch().count();
+}
+
+long Legacy() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // line 16: wallclock
+  return ts.tv_sec;
+}

@@ -1,0 +1,27 @@
+// Fixture: deterministic idioms that must NOT be flagged — including
+// rule-token mentions inside comments and string literals.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+// Prose mentioning std::rand and steady_clock never trips a rule.
+const char* kDoc = "never call std::rand or steady_clock here";
+
+std::uint64_t Lookup(const std::unordered_map<int, std::uint64_t>& m,
+                     int key) {
+  const auto it = m.find(key);  // point lookup: no iteration
+  return it == m.end() ? 0 : it->second;
+}
+
+std::uint64_t Walk(const std::map<std::string, std::uint64_t>& ordered) {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : ordered) total += v;  // ordered: fine
+  return total;
+}
+
+unsigned SeededDraw(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);  // explicit seed: fine
+  return static_cast<unsigned>(gen());
+}

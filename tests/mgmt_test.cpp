@@ -284,7 +284,8 @@ TEST_F(MgmtTest, AdminHttpObsRoutes) {
   std::string body(r.body.begin(), r.body.end());
   EXPECT_NE(body.find("# TYPE nlss_controller_reads_total counter"),
             std::string::npos);
-  EXPECT_NE(body.find("nlss_traces_finished_total 2"), std::string::npos);
+  // write + its background cache.flush write-back + read.
+  EXPECT_NE(body.find("nlss_traces_finished_total 3"), std::string::npos);
 
   // /traces: every retained trace, JSON.
   r = get("/traces");

@@ -1,0 +1,657 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace nlss::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Token occurrence with identifier-boundary checks on both sides.
+std::size_t FindToken(const std::string& text, const std::string& token,
+                      std::size_t from) {
+  while (true) {
+    const std::size_t pos = text.find(token, from);
+    if (pos == std::string::npos) return std::string::npos;
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+std::size_t SkipSpace(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Matches a '<' at `open` to its closing '>'.  Returns npos on imbalance.
+std::size_t MatchAngle(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>') {
+      if (--depth == 0) return i;
+    }
+    if (text[i] == ';') return std::string::npos;  // statement ended: not a type
+  }
+  return std::string::npos;
+}
+
+std::size_t MatchParen(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Replace comments and string/character literals with spaces, preserving
+/// offsets and newlines so line numbers survive.
+std::string Strip(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(text[i - 1]))) {
+          const std::size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, paren - (i + 2)) + "\"";
+            for (std::size_t k = i; k <= paren; ++k) out[k] = ' ';
+            i = paren;
+            st = State::kRaw;
+          }
+        } else if (c == '"') {
+          st = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          st = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct LineIndex {
+  std::vector<std::size_t> starts;  // starts[k] = offset of line k (0-based)
+  explicit LineIndex(const std::string& text) {
+    starts.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  int LineOf(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), offset) - 1;
+    return static_cast<int>(it - starts.begin()) + 1;
+  }
+};
+
+/// Allowlist: rule -> lines it is allowed on (or whole file).
+struct Allowlist {
+  std::map<std::string, std::set<int>> lines;
+  std::set<std::string> file_wide;
+
+  bool Allows(const std::string& rule, int line) const {
+    if (file_wide.count(rule) > 0) return true;
+    const auto it = lines.find(rule);
+    return it != lines.end() && it->second.count(line) > 0;
+  }
+};
+
+Allowlist ParseAllowlist(const std::string& raw) {
+  Allowlist allow;
+  const LineIndex idx(raw);
+  std::size_t pos = 0;
+  while ((pos = raw.find("nlss-lint:", pos)) != std::string::npos) {
+    std::size_t p = SkipSpace(raw, pos + 10);
+    bool file_wide = false;
+    if (raw.compare(p, 10, "allow-file") == 0) {
+      file_wide = true;
+      p += 10;
+    } else if (raw.compare(p, 5, "allow") == 0) {
+      p += 5;
+    } else {
+      pos = p;
+      continue;
+    }
+    p = SkipSpace(raw, p);
+    if (p >= raw.size() || raw[p] != '(') {
+      pos = p;
+      continue;
+    }
+    const std::size_t close = raw.find(')', p);
+    if (close == std::string::npos) break;
+    std::string rules = raw.substr(p + 1, close - p - 1);
+    std::stringstream ss(rules);
+    std::string rule;
+    const int line = idx.LineOf(pos);
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (rule.empty()) continue;
+      if (file_wide) {
+        allow.file_wide.insert(rule);
+      } else {
+        // The allow comment covers its own line and the one below it, so
+        // it can sit inline or on the preceding line.
+        allow.lines[rule].insert(line);
+        allow.lines[rule].insert(line + 1);
+      }
+    }
+    pos = close;
+  }
+  return allow;
+}
+
+/// Names declared with an unordered container type (members, locals,
+/// parameters) plus type aliases of unordered containers.
+struct UnorderedNames {
+  std::set<std::string> vars;
+  std::set<std::string> aliases;
+};
+
+const char* kUnorderedTypes[] = {"unordered_map", "unordered_multimap",
+                                 "unordered_set", "unordered_multiset"};
+
+/// Reads the identifier declared after a type that ends at `after_type`
+/// (skips &, *, const).  Empty if none.
+std::string DeclaredName(const std::string& text, std::size_t after_type) {
+  std::size_t p = SkipSpace(text, after_type);
+  while (p < text.size()) {
+    if (text[p] == '&' || text[p] == '*') {
+      p = SkipSpace(text, p + 1);
+      continue;
+    }
+    if (text.compare(p, 5, "const") == 0 &&
+        (p + 5 >= text.size() || !IsIdentChar(text[p + 5]))) {
+      p = SkipSpace(text, p + 5);
+      continue;
+    }
+    break;
+  }
+  std::string name;
+  while (p < text.size() && IsIdentChar(text[p])) name.push_back(text[p++]);
+  if (!name.empty() &&
+      std::isdigit(static_cast<unsigned char>(name[0])) != 0) {
+    return {};
+  }
+  return name;
+}
+
+/// True if the text right before `pos` is `using IDENT =` (alias decl);
+/// returns IDENT.
+std::string AliasNameBefore(const std::string& text, std::size_t pos) {
+  std::size_t p = pos;
+  auto skip_back_space = [&] {
+    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1]))) {
+      --p;
+    }
+  };
+  skip_back_space();
+  // Optionally "std::" qualification between '=' and the type.
+  if (p >= 5 && text.compare(p - 5, 5, "std::") == 0) {
+    p -= 5;
+    skip_back_space();
+  }
+  if (p == 0 || text[p - 1] != '=') return {};
+  --p;
+  skip_back_space();
+  std::size_t end = p;
+  while (p > 0 && IsIdentChar(text[p - 1])) --p;
+  if (p == end) return {};
+  const std::string ident = text.substr(p, end - p);
+  std::size_t q = p;
+  while (q > 0 && std::isspace(static_cast<unsigned char>(text[q - 1]))) --q;
+  if (q >= 5 && text.compare(q - 5, 5, "using") == 0) return ident;
+  return {};
+}
+
+UnorderedNames CollectUnordered(const std::string& text) {
+  UnorderedNames names;
+  for (const char* type : kUnorderedTypes) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, type, pos)) != std::string::npos) {
+      const std::size_t after = SkipSpace(text, pos + std::string(type).size());
+      if (after >= text.size() || text[after] != '<') {
+        ++pos;
+        continue;
+      }
+      const std::string alias = AliasNameBefore(text, pos);
+      const std::size_t close = MatchAngle(text, after);
+      if (close == std::string::npos) {
+        ++pos;
+        continue;
+      }
+      if (!alias.empty()) {
+        names.aliases.insert(alias);
+      } else {
+        const std::string var = DeclaredName(text, close + 1);
+        if (!var.empty()) names.vars.insert(var);
+      }
+      pos = close;
+    }
+  }
+  // Declarations through a collected alias: `PageMap cache_;`
+  for (const std::string& alias : names.aliases) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, alias, pos)) != std::string::npos) {
+      const std::string var = DeclaredName(text, pos + alias.size());
+      if (!var.empty() && var != alias) names.vars.insert(var);
+      pos += alias.size();
+    }
+  }
+  return names;
+}
+
+/// Trailing container identifier of a range-for expression: `obj.member_`
+/// -> member_, `arr[i]` -> arr, `*p` -> p.  Empty when unresolvable.
+std::string TrailingIdentifier(std::string expr) {
+  while (!expr.empty() &&
+         std::isspace(static_cast<unsigned char>(expr.back())) != 0) {
+    expr.pop_back();
+  }
+  // Strip one trailing [index].
+  if (!expr.empty() && expr.back() == ']') {
+    int depth = 0;
+    std::size_t i = expr.size();
+    while (i > 0) {
+      --i;
+      if (expr[i] == ']') ++depth;
+      if (expr[i] == '[' && --depth == 0) break;
+    }
+    expr.resize(i);
+  }
+  if (expr.empty() || expr.back() == ')') return {};
+  std::size_t end = expr.size();
+  std::size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+struct RuleSink {
+  const std::string& path;
+  const LineIndex& idx;
+  const Allowlist& allow;
+  std::vector<Finding>& out;
+
+  void Add(std::size_t offset, const std::string& rule,
+           std::string message) {
+    const int line = idx.LineOf(offset);
+    if (allow.Allows(rule, line)) return;
+    out.push_back(Finding{path, line, rule, std::move(message)});
+  }
+};
+
+bool InSimDir(const std::string& path) {
+  return path.find("src/sim/") != std::string::npos ||
+         path.rfind("sim/", 0) == 0;
+}
+
+void RuleWallclock(const std::string& text, RuleSink& sink,
+                   const std::string& path) {
+  if (InSimDir(path)) return;  // the DES clock implementation itself
+  static const char* kTokens[] = {"system_clock",    "steady_clock",
+                                  "high_resolution_clock", "gettimeofday",
+                                  "clock_gettime",   "localtime",
+                                  "gmtime"};
+  for (const char* tok : kTokens) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, tok, pos)) != std::string::npos) {
+      sink.Add(pos, "wallclock",
+               std::string(tok) +
+                   ": wall-clock time source outside src/sim; use the "
+                   "sim::Engine clock");
+      pos += 1;
+    }
+  }
+}
+
+void RuleRand(const std::string& text, RuleSink& sink) {
+  static const char* kTokens[] = {"random_device", "srand", "drand48"};
+  for (const char* tok : kTokens) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, tok, pos)) != std::string::npos) {
+      sink.Add(pos, "rand",
+               std::string(tok) +
+                   ": unseeded/global randomness; draw from a seeded "
+                   "util::Rng stream");
+      pos += 1;
+    }
+  }
+  // Bare rand( — only the call form, so identifiers like `brand` or
+  // members like `rng.rand` stay quiet (token boundaries handle those).
+  std::size_t pos = 0;
+  while ((pos = FindToken(text, "rand", pos)) != std::string::npos) {
+    const std::size_t after = SkipSpace(text, pos + 4);
+    if (after < text.size() && text[after] == '(') {
+      sink.Add(pos,
+               "rand", "std::rand: global PRNG; draw from a seeded "
+               "util::Rng stream");
+    }
+    pos += 1;
+  }
+}
+
+void RuleRngSeed(const std::string& text, RuleSink& sink) {
+  static const char* kEngines[] = {"mt19937",      "mt19937_64",
+                                   "minstd_rand",  "minstd_rand0",
+                                   "ranlux24",     "ranlux48",
+                                   "knuth_b"};
+  for (const char* eng : kEngines) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, eng, pos)) != std::string::npos) {
+      std::size_t p = SkipSpace(text, pos + std::string(eng).size());
+      // Temporary: mt19937{} / mt19937()
+      if (p + 1 < text.size() &&
+          ((text[p] == '{' && SkipSpace(text, p + 1) < text.size() &&
+            text[SkipSpace(text, p + 1)] == '}') ||
+           (text[p] == '(' && SkipSpace(text, p + 1) < text.size() &&
+            text[SkipSpace(text, p + 1)] == ')'))) {
+        sink.Add(pos, "rng-seed",
+                 std::string(eng) + ": default-constructed engine uses a "
+                                    "fixed implicit seed; pass an explicit "
+                                    "seed (or use util::Rng)");
+        pos += 1;
+        continue;
+      }
+      // Declaration: mt19937 g;  /  mt19937 g{};  /  mt19937 g();
+      std::string var;
+      while (p < text.size() && IsIdentChar(text[p])) var.push_back(text[p++]);
+      if (!var.empty()) {
+        p = SkipSpace(text, p);
+        const bool bare = p < text.size() && text[p] == ';';
+        const bool empty_braces =
+            p + 1 < text.size() && text[p] == '{' &&
+            text[SkipSpace(text, p + 1)] == '}';
+        const bool empty_parens =
+            p + 1 < text.size() && text[p] == '(' &&
+            text[SkipSpace(text, p + 1)] == ')';
+        if (bare || empty_braces || empty_parens) {
+          sink.Add(pos, "rng-seed",
+                   std::string(eng) + " " + var +
+                       ": engine constructed without an explicit seed");
+        }
+      }
+      pos += 1;
+    }
+  }
+  std::size_t pos = 0;
+  while ((pos = FindToken(text, "default_random_engine", pos)) !=
+         std::string::npos) {
+    sink.Add(pos, "rng-seed",
+             "default_random_engine: implementation-defined sequence is not "
+             "reproducible across toolchains; use util::Rng");
+    pos += 1;
+  }
+}
+
+void RuleUnorderedIter(const std::string& text, RuleSink& sink,
+                       const UnorderedNames& names) {
+  // Range-for over a known-unordered name.
+  std::size_t pos = 0;
+  while ((pos = FindToken(text, "for", pos)) != std::string::npos) {
+    const std::size_t open = SkipSpace(text, pos + 3);
+    if (open >= text.size() || text[open] != '(') {
+      ++pos;
+      continue;
+    }
+    const std::size_t close = MatchParen(text, open);
+    if (close == std::string::npos) {
+      ++pos;
+      continue;
+    }
+    const std::string inner = text.substr(open + 1, close - open - 1);
+    // Find the range-for ':' — a single colon at paren/angle depth 0.
+    int pd = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+      const char c = inner[i];
+      if (c == '(' || c == '[' || c == '{') ++pd;
+      if (c == ')' || c == ']' || c == '}') --pd;
+      if (c == ':' && pd == 0) {
+        if ((i + 1 < inner.size() && inner[i + 1] == ':') ||
+            (i > 0 && inner[i - 1] == ':')) {
+          continue;  // scope operator
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon != std::string::npos) {
+      const std::string name = TrailingIdentifier(inner.substr(colon + 1));
+      if (!name.empty() && names.vars.count(name) > 0) {
+        sink.Add(pos, "unordered-iter",
+                 "iteration over unordered container '" + name +
+                     "': hash order feeds downstream state; use an ordered "
+                     "container or allowlist an order-insensitive reduction");
+      }
+    }
+    pos = close;
+  }
+  // Iterator loops: name.begin() / name->begin() / cbegin.
+  for (const std::string& name : names.vars) {
+    for (const char* deref : {".", "->"}) {
+      for (const char* b : {"begin", "cbegin"}) {
+        const std::string pat = name + deref + b;
+        std::size_t p = 0;
+        while ((p = text.find(pat, p)) != std::string::npos) {
+          const bool left_ok = p == 0 || !IsIdentChar(text[p - 1]);
+          const std::size_t after = SkipSpace(text, p + pat.size());
+          if (left_ok && after < text.size() && text[after] == '(') {
+            sink.Add(p, "unordered-iter",
+                     "iterator walk over unordered container '" + name +
+                         "': hash order feeds downstream state");
+          }
+          p += pat.size();
+        }
+      }
+    }
+  }
+}
+
+void RulePointerKey(const std::string& text, RuleSink& sink) {
+  static const char* kOrdered[] = {"map", "multimap", "set", "multiset",
+                                   "priority_queue"};
+  for (const char* type : kOrdered) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, type, pos)) != std::string::npos) {
+      // Require std:: qualification so domain types named map/set pass.
+      if (pos < 5 || text.compare(pos - 5, 5, "std::") != 0) {
+        ++pos;
+        continue;
+      }
+      const std::size_t open = SkipSpace(text, pos + std::string(type).size());
+      if (open >= text.size() || text[open] != '<') {
+        ++pos;
+        continue;
+      }
+      const std::size_t close = MatchAngle(text, open);
+      if (close == std::string::npos) {
+        ++pos;
+        continue;
+      }
+      // First template argument, up to a depth-0 comma.
+      std::string first;
+      int depth = 0;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        const char c = text[i];
+        if (c == '<' || c == '(') ++depth;
+        if (c == '>' || c == ')') --depth;
+        if (c == ',' && depth == 0) break;
+        first.push_back(c);
+      }
+      while (!first.empty() &&
+             std::isspace(static_cast<unsigned char>(first.back())) != 0) {
+        first.pop_back();
+      }
+      if (!first.empty() && first.back() == '*') {
+        sink.Add(pos, "pointer-key",
+                 "std::" + std::string(type) + "<" + first +
+                     ", ...>: ordering by pointer value is address-dependent "
+                     "and varies run to run; key by a stable id");
+      }
+      pos = close;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      "wallclock", "rand", "rng-seed", "unordered-iter", "pointer-key"};
+  return kRules;
+}
+
+std::vector<Finding> LintText(const std::string& path,
+                              const std::string& text) {
+  std::vector<Finding> findings;
+  const Allowlist allow = ParseAllowlist(text);
+  const std::string stripped = Strip(text);
+  const LineIndex idx(stripped);
+  RuleSink sink{path, idx, allow, findings};
+  const UnorderedNames names = CollectUnordered(stripped);
+  RuleWallclock(stripped, sink, path);
+  RuleRand(stripped, sink);
+  RuleRngSeed(stripped, sink);
+  RuleUnorderedIter(stripped, sink, names);
+  RulePointerKey(stripped, sink);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".h", ".hpp", ".cpp", ".cc",
+                                              ".cxx"};
+  static const std::set<std::string> kSkipDirs = {"build", ".git",
+                                                  "lint_fixtures"};
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    fs::recursive_directory_iterator it(root, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+      if (it->is_directory() &&
+          kSkipDirs.count(it->path().filename().string()) > 0) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() &&
+          kExts.count(it->path().extension().string()) > 0) {
+        files.push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto file_findings = LintText(file, ss.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace nlss::lint

@@ -1,0 +1,56 @@
+// Determinism lint for the NLSS tree (tools/nlss_lint).
+//
+// Token/regex-level — no libclang.  The whole evaluation surface rests on
+// same-seed bit-identical replay, so sources of nondeterminism are banned
+// outright and enforced in CI:
+//
+//   wallclock       std::chrono::{system,steady,high_resolution}_clock,
+//                   gettimeofday/clock_gettime/localtime/gmtime anywhere
+//                   outside src/sim (the DES clock is the only time source).
+//   rand            std::rand/srand/drand48 and std::random_device (seed
+//                   entropy) — all randomness flows from seeded util::Rng.
+//   rng-seed        default-constructed std engines (mt19937 g;) and
+//                   default_random_engine (implementation-defined sequence).
+//   unordered-iter  iteration over std::unordered_map/unordered_set.  In
+//                   this codebase every side effect transitively feeds the
+//                   observability digest (event ordering, metric text,
+//                   traces), so hash-order iteration is flagged everywhere;
+//                   provably order-insensitive reductions are allowlisted.
+//   pointer-key     std::map/std::set/std::priority_queue ordered by a
+//                   pointer key — address order varies run to run.
+//
+// Allowlist: `// nlss-lint: allow(rule)` on the offending line or the line
+// above; `// nlss-lint: allow-file(rule)` anywhere for the whole file.
+// Comments and string literals are stripped before matching, so prose
+// mentioning std::rand never trips a rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nlss::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names, in report order.
+const std::vector<std::string>& RuleNames();
+
+/// Lint one file's text.  `path` drives path-scoped rules (wallclock is
+/// permitted under src/sim) and is echoed into findings.
+std::vector<Finding> LintText(const std::string& path,
+                              const std::string& text);
+
+/// Recursively lint .h/.hpp/.cpp/.cc files under each root (files are
+/// accepted too).  Skips build/, .git/, and lint_fixtures/ directories.
+/// Results are sorted by (file, line) for deterministic output.
+std::vector<Finding> LintPaths(const std::vector<std::string>& roots);
+
+/// Render one finding as "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+}  // namespace nlss::lint

@@ -1,0 +1,24 @@
+// nlss_lint <path>...  — determinism lint over the given files/directories.
+// Prints findings as "file:line: [rule] message" and exits 1 if any exist,
+// so the CMake `lint` target gates CI.
+#include <cstdio>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: nlss_lint <file-or-dir>...\n");
+    return 2;
+  }
+  const auto findings = nlss::lint::LintPaths(roots);
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s\n", nlss::lint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "nlss_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
