@@ -146,6 +146,7 @@ FailoverResult RunFailover(std::uint64_t seed, int pin) {
   host::InitiatorConfig hc;
   hc.policy = host::InitiatorConfig::Policy::kRoundRobin;
   hc.hedged_reads = false;
+  hc.hedged_writes = false;  // retry/failover only; write speculation is E16
   hc.pin_path = pin;
   hc.seed = seed;
   hc.retry.max_attempts = 10;

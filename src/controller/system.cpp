@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/invariant.h"
+
 namespace nlss::controller {
 
 StorageSystem::StorageSystem(sim::Engine& engine, net::Fabric& fabric,
@@ -167,6 +169,20 @@ void StorageSystem::RegisterQosMetrics() {
           return qos_ == nullptr ? 0.0 : double(qos_->slo().stats(id).bytes);
         },
         labels);
+    m.AddCallback(
+        "nlss_qos_hedges_total", "Hedge-budget grants (TryHedge)",
+        [this, id] {
+          return qos_ == nullptr ? 0.0 : double(qos_->slo().stats(id).hedges);
+        },
+        labels);
+    m.AddCallback(
+        "nlss_qos_hedges_shed_total",
+        "Hedges denied by budget or admission pressure",
+        [this, id] {
+          return qos_ == nullptr ? 0.0
+                                 : double(qos_->slo().stats(id).hedges_shed);
+        },
+        labels);
   }
 }
 
@@ -212,6 +228,15 @@ void StorageSystem::AttachObs(obs::Hub* hub) {
                 [this] { return double(cache_->DirtyPages()); });
   m.AddCallback("nlss_cache_cached_pages", "Pages currently cached",
                 [this] { return double(cache_->CachedPages()); });
+  m.AddCallback("nlss_host_write_dedup_hits_total",
+                "Duplicate write arrivals absorbed by the blade-side index",
+                [this] { return double(dedup_.stats().dedup_hits); });
+  m.AddCallback("nlss_host_ghost_writes_total",
+                "Writes dropped at the blade after the writer reported failure",
+                [this] { return double(dedup_.stats().ghost_writes); });
+  m.AddCallback("nlss_write_dedup_entries",
+                "Live entries in the write idempotency index",
+                [this] { return double(dedup_.entries()); });
   m.AddCallback("nlss_fabric_bytes_carried_total",
                 "Bytes carried by all fabric links",
                 [this] { return double(fabric_.TotalBytesCarried()); });
@@ -325,15 +350,21 @@ void StorageSystem::ReadVia(net::NodeId host, cache::ControllerId via,
 void StorageSystem::WriteVia(net::NodeId host, cache::ControllerId via,
                              VolumeId vol, std::uint64_t offset,
                              std::span<const std::uint8_t> data,
-                             WriteCallback cb, std::uint8_t priority,
-                             qos::TenantId tenant, obs::TraceContext ctx) {
+                             cache::WriteId wid, WriteCallback cb,
+                             std::uint8_t priority, qos::TenantId tenant,
+                             obs::TraceContext ctx) {
+  // The host initiator re-drives and hedges through this entry: every
+  // write must be attributed so the blades can deduplicate it.
+  NLSS_INVARIANT(kCache, wid.valid(),
+                 "WriteVia without a write id (vol %u offset %llu)", vol,
+                 static_cast<unsigned long long>(offset));
   if (writes_total_ != nullptr) writes_total_->Increment();
   bool root = false;
   ctx = StartOp(ctx, "controller.write", vol, &root);
   const sim::Tick t0 = engine_.now();
   auto payload = std::make_shared<util::Bytes>(data.begin(), data.end());
   WriteOnce(host, via, vol, offset, std::move(payload),
-            config_.cache.replication, priority, tenant,
+            config_.cache.replication, priority, tenant, wid,
             [this, t0, ctx, root, cb = std::move(cb)](bool ok) {
               if (write_latency_ns_ != nullptr) {
                 write_latency_ns_->Record(engine_.now() - t0);
@@ -444,8 +475,11 @@ void StorageSystem::WriteReplicated(net::NodeId host, VolumeId vol,
       });
   *attempt = [this, host, vol, offset, payload, replication, priority, tenant,
               outer_cb, attempt, ctx](std::uint32_t retries_left) {
+    // Legacy driver loop: unattributed ({} write id, no dedup).  Safe by
+    // construction — each retry rewrites the identical payload at the
+    // identical offset and the loop never overlaps attempts.
     WriteOnce(host, PickController(vol), vol, offset, payload, replication,
-              priority, tenant,
+              priority, tenant, cache::WriteId{},
               [this, outer_cb, attempt, retries_left](bool ok) {
                 if (ok || retries_left == 0) {
                   (*outer_cb)(ok);
@@ -465,38 +499,47 @@ void StorageSystem::WriteOnce(net::NodeId host, cache::ControllerId ctrl,
                               VolumeId vol, std::uint64_t offset,
                               std::shared_ptr<util::Bytes> payload,
                               std::uint32_t replication, std::uint8_t priority,
-                              qos::TenantId tenant, WriteCallback cb,
-                              obs::TraceContext ctx) {
+                              qos::TenantId tenant, cache::WriteId wid,
+                              WriteCallback cb, obs::TraceContext ctx) {
   auto shared_cb = std::make_shared<WriteCallback>(std::move(cb));
   auto issue = [this, host, ctrl, vol, offset, replication, priority, payload,
-                shared_cb, ctx](std::function<void(bool)> done) {
+                wid, shared_cb, ctx](std::function<void(bool)> done) {
     ++outstanding_[ctrl];
     // Data travels host -> blade, then the ack returns blade -> host.
     fabric_.Send(
         host, controller_nodes_[ctrl], payload->size(),
-        [this, host, ctrl, vol, offset, replication, priority, payload,
+        [this, host, ctrl, vol, offset, replication, priority, payload, wid,
          shared_cb, done, ctx] {
-          cache_->WriteWithReplication(
-              ctrl, vol, offset, *payload, replication,
-              [this, host, ctrl, shared_cb, done, ctx](bool ok) {
-                --outstanding_[ctrl];
-                if (!ok) {
+          // Shared continuation: duplicates absorbed by the dedup index
+          // ride it too, so every arrival acks (and releases its QoS
+          // slot) exactly once.
+          auto outcome = [this, host, ctrl, shared_cb, done, ctx](bool ok) {
+            --outstanding_[ctrl];
+            if (!ok) {
+              done(false);
+              (*shared_cb)(false);
+              return;
+            }
+            fabric_.Send(
+                controller_nodes_[ctrl], host, config_.cache.ctrl_msg_bytes,
+                [shared_cb, done] {
+                  done(true);
+                  (*shared_cb)(true);
+                },
+                [shared_cb, done] {
                   done(false);
                   (*shared_cb)(false);
-                  return;
-                }
-                fabric_.Send(
-                    controller_nodes_[ctrl], host,
-                    config_.cache.ctrl_msg_bytes,
-                    [shared_cb, done] {
-                      done(true);
-                      (*shared_cb)(true);
-                    },
-                    [shared_cb, done] {
-                      done(false);
-                      (*shared_cb)(false);
-                    },
-                    ctx);
+                },
+                ctx);
+          };
+          // Payload has landed on the blade: consult the cluster-wide
+          // idempotency index before touching the data image.
+          if (!dedup_.Begin(wid, outcome)) return;
+          cache_->WriteWithReplication(
+              ctrl, vol, offset, *payload, replication,
+              [this, wid, outcome](bool ok) {
+                dedup_.Complete(wid, ok);
+                outcome(ok);
               },
               priority, ctx);
         },
@@ -563,7 +606,14 @@ void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
                                std::span<const std::uint8_t> data,
                                std::uint32_t replication,
                                std::uint8_t priority, qos::TenantId tenant,
-                               WriteCallback cb, obs::TraceContext ctx) {
+                               cache::WriteId wid, WriteCallback cb,
+                               obs::TraceContext ctx) {
+  // No bare writes: blade-entry writes must be attributed so retried or
+  // duplicated submissions stay exactly-once (tools/nlss_lint enforces
+  // the call-site shape; this checks the id is actually populated).
+  NLSS_INVARIANT(kCache, wid.valid(),
+                 "BladeWrite without a write id (vol %u offset %llu)", vol,
+                 static_cast<unsigned long long>(offset));
   if (writes_total_ != nullptr) writes_total_->Increment();
   bool root = false;
   ctx = StartOp(ctx, "controller.write", vol, &root);
@@ -583,13 +633,18 @@ void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
         }
         cb(ok);
       });
-  auto issue = [this, via, vol, offset, replication, priority, payload,
+  auto issue = [this, via, vol, offset, replication, priority, payload, wid,
                 shared_cb, ctx](std::function<void(bool)> done) {
+    auto outcome = [shared_cb, done](bool ok) {
+      done(ok);
+      (*shared_cb)(ok);
+    };
+    if (!dedup_.Begin(wid, outcome)) return;
     cache_->WriteWithReplication(
         via, vol, offset, *payload, replication,
-        [shared_cb, done](bool ok) {
-          done(ok);
-          (*shared_cb)(ok);
+        [this, wid, outcome](bool ok) {
+          dedup_.Complete(wid, ok);
+          outcome(ok);
         },
         priority, ctx);
   };

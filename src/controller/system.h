@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/cluster.h"
+#include "cache/dedup.h"
 #include "disk/disk.h"
 #include "net/fabric.h"
 #include "obs/hub.h"
@@ -122,9 +123,14 @@ class StorageSystem {
                std::uint8_t priority = 0,
                qos::TenantId tenant = qos::kAutoTenant,
                obs::TraceContext ctx = {});
+  /// Writes entering here carry a WriteId (AllocWriterId + per-writer
+  /// monotonic seq): the blades deduplicate on it, so timeout re-drives,
+  /// path-down re-drives, hedges, and late acks apply exactly once
+  /// server-side.
   void WriteVia(net::NodeId host, cache::ControllerId via, VolumeId vol,
                 std::uint64_t offset, std::span<const std::uint8_t> data,
-                WriteCallback cb, std::uint8_t priority = 0,
+                cache::WriteId wid, WriteCallback cb,
+                std::uint8_t priority = 0,
                 qos::TenantId tenant = qos::kAutoTenant,
                 obs::TraceContext ctx = {});
 
@@ -138,11 +144,23 @@ class StorageSystem {
   void BladeWrite(cache::ControllerId via, VolumeId vol, std::uint64_t offset,
                   std::span<const std::uint8_t> data,
                   std::uint32_t replication, std::uint8_t priority,
-                  qos::TenantId tenant, WriteCallback cb,
+                  qos::TenantId tenant, cache::WriteId wid, WriteCallback cb,
                   obs::TraceContext ctx = {});
+
+  // --- Write idempotency (exactly-once server-side) -------------------------
+  /// Allocate a writer id for WriteId stamping (one per initiator / fs).
+  std::uint32_t AllocWriterId() { return next_writer_id_++; }
+  /// Writer-side abandon: the op was reported failed, so any copy still in
+  /// the fabric must not change the data image (ghost-write protection).
+  void CancelWrite(const cache::WriteId& wid) { dedup_.Cancel(wid); }
+  const cache::WriteDedupIndex& write_dedup() const { return dedup_; }
 
   /// Expose blade selection for components (streaming, protocols).
   cache::ControllerId PickController(VolumeId vol);
+
+  /// Map a request to its QoS tenant (explicit id, else volume binding).
+  /// Public so the host initiator can attribute hedge-budget decisions.
+  qos::TenantId ResolveTenant(VolumeId vol, qos::TenantId hint) const;
 
   // --- QoS (multi-tenant performance isolation) ------------------------------
   /// Attach a tenant-aware admission/scheduling layer.  Existing volumes
@@ -197,13 +215,11 @@ class StorageSystem {
   void WriteOnce(net::NodeId host, cache::ControllerId ctrl, VolumeId vol,
                  std::uint64_t offset, std::shared_ptr<util::Bytes> payload,
                  std::uint32_t replication, std::uint8_t priority,
-                 qos::TenantId tenant, WriteCallback cb,
+                 qos::TenantId tenant, cache::WriteId wid, WriteCallback cb,
                  obs::TraceContext ctx = {});
   /// Register the labelled per-tenant QoS series (idempotent; called from
   /// AttachObs and AttachQos so attach order doesn't matter).
   void RegisterQosMetrics();
-  /// Map a request to its QoS tenant (explicit id, else volume binding).
-  qos::TenantId ResolveTenant(VolumeId vol, qos::TenantId hint) const;
   /// Root-or-child span entry: starts a trace when `ctx` is inert and a hub
   /// is attached; otherwise opens a controller child span.  Sets *root.
   obs::TraceContext StartOp(obs::TraceContext ctx, const char* name,
@@ -223,6 +239,11 @@ class StorageSystem {
   std::vector<std::unique_ptr<virt::DemandMappedVolume>> volumes_;
   std::uint32_t rr_next_ = 0;
   std::vector<std::uint32_t> outstanding_;
+  // One cluster-wide dedup index: the coherent backplane that lets any
+  // blade serve any page also lets any blade see any in-flight write, so
+  // a re-drive landing on a different blade still deduplicates.
+  cache::WriteDedupIndex dedup_;
+  std::uint32_t next_writer_id_ = 1;
   qos::Scheduler* qos_ = nullptr;
   obs::Hub* hub_ = nullptr;
   // Hot-path instruments (owned by the hub's registry; null when detached).

@@ -15,7 +15,8 @@ Initiator::Initiator(controller::StorageSystem& system, const std::string& name,
       name_(name),
       config_(config),
       node_(system.AttachHost(name)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      writer_id_(system.AllocWriterId()) {
   const std::uint32_t blades = system_.controller_count();
   paths_.reserve(blades);
   for (std::uint32_t b = 0; b < blades; ++b) {
@@ -68,10 +69,31 @@ void Initiator::Write(controller::VolumeId vol, std::uint64_t offset,
   op->offset = offset;
   op->length = static_cast<std::uint32_t>(data.size());
   op->payload = std::make_shared<util::Bytes>(data.begin(), data.end());
+  op->wid = cache::WriteId{writer_id_, next_write_seq_, 0};
+  unsettled_writes_.insert(next_write_seq_);
+  ++next_write_seq_;
   op->tenant = tenant;
   op->wcb = std::move(cb);
   ++stats_.writes;
   Submit(std::move(op));
+}
+
+std::uint64_t Initiator::SettledUpTo() const {
+  return unsettled_writes_.empty() ? next_write_seq_
+                                   : *unsettled_writes_.begin();
+}
+
+void Initiator::MaybeSettleWrite(const OpPtr& op) {
+  NLSS_INVARIANT(kHost, op->resolved_attempts <= op->issued_attempts,
+                 "op %llu resolved %u attempts but issued only %u",
+                 static_cast<unsigned long long>(op->id),
+                 op->resolved_attempts, op->issued_attempts);
+  if (op->is_read || !op->done) return;
+  if (op->resolved_attempts < op->issued_attempts) return;
+  // Done and fully drained: no copy of this write remains in the fabric,
+  // so the blades may forget it.  The next write's id carries the
+  // advanced cursor to the index.
+  unsettled_writes_.erase(op->wid.seq);
 }
 
 void Initiator::Submit(OpPtr op) {
@@ -131,7 +153,8 @@ int Initiator::SelectPath(int exclude, sim::Tick now) const {
 void Initiator::IssueAttempt(const OpPtr& op, int path, bool is_hedge) {
   const sim::Tick now = engine_.now();
   const std::uint32_t attempt = op->next_attempt++;
-  op->inflight[attempt] = path;
+  op->inflight[attempt] = Attempt{path, is_hedge};
+  ++op->issued_attempts;
   if (!is_hedge) op->last_path = path;
   paths_[path].OnIssue(now);
   active_[path][op->id] = op;
@@ -155,17 +178,24 @@ void Initiator::IssueAttempt(const OpPtr& op, int path, bool is_hedge) {
         [this, op, attempt, path, now, ctx, is_hedge](bool ok,
                                                       util::Bytes data) {
           obs::EndSpan(ctx);
+          ++op->resolved_attempts;
           OnAttemptResult(op, attempt, path, now, ok, std::move(data),
                           is_hedge);
         },
         op->priority, op->tenant, ctx);
   } else {
+    // Each attempt carries the write id plus the current settled cursor,
+    // piggybacking dedup-index pruning on the data path.
+    cache::WriteId wid = op->wid;
+    wid.settled = SettledUpTo();
     system_.WriteVia(
         node_, blade, op->vol, op->offset,
-        std::span<const std::uint8_t>(*op->payload),
+        std::span<const std::uint8_t>(*op->payload), wid,
         [this, op, attempt, path, now, ctx, is_hedge](bool ok) {
           obs::EndSpan(ctx);
+          ++op->resolved_attempts;
           OnAttemptResult(op, attempt, path, now, ok, {}, is_hedge);
+          MaybeSettleWrite(op);
         },
         op->priority, op->tenant, ctx);
   }
@@ -181,8 +211,9 @@ sim::Tick Initiator::HedgeDelay(int path) const {
 }
 
 void Initiator::ArmHedge(const OpPtr& op, int primary_path) {
-  if (!config_.hedged_reads || !op->is_read || config_.pin_path >= 0 ||
-      paths_.size() < 2) {
+  const bool enabled =
+      op->is_read ? config_.hedged_reads : config_.hedged_writes;
+  if (!enabled || config_.pin_path >= 0 || paths_.size() < 2) {
     return;
   }
   engine_.Schedule(HedgeDelay(primary_path), [this, op] {
@@ -191,9 +222,21 @@ void Initiator::ArmHedge(const OpPtr& op, int primary_path) {
         op->redrive_pending) {
       return;
     }
-    const int primary = op->inflight.begin()->second;
+    const int primary = op->inflight.begin()->second.path;
     const int alt = SelectPath(primary, engine_.now());
     if (alt < 0) return;
+    // Per-tenant hedge budget: a hedge is speculative spend, so it asks
+    // the QoS layer first (token bucket + shed-under-pressure).  Without
+    // a scheduler attached, hedging is unbudgeted as before.
+    if (qos::Scheduler* q = system_.qos()) {
+      const auto blade =
+          static_cast<std::uint32_t>(paths_[static_cast<std::size_t>(alt)]
+                                         .blade());
+      if (!q->TryHedge(blade, system_.ResolveTenant(op->vol, op->tenant))) {
+        ++stats_.hedges_denied;
+        return;
+      }
+    }
     op->hedged = true;
     IssueAttempt(op, alt, /*is_hedge=*/true);
   });
@@ -217,6 +260,12 @@ void Initiator::OnAttemptResult(const OpPtr& op, std::uint32_t attempt,
     } else {
       paths_[path].OnError(now);
     }
+    // Hedge accounting: every hedge attempt terminates exactly once as a
+    // win or a loss.  Wins are counted below; any other tracked ending is
+    // a loss here, and untracked endings (timeout, path-down abandonment)
+    // were counted when the attempt was erased — so after a drain
+    // hedges == hedge_wins + hedge_losses holds.
+    if (is_hedge && !(ok && !op->done)) ++stats_.hedge_losses;
   } else if (ok) {
     // Reply landed after the attempt timed out (or its path was declared
     // down).  The operation DID apply server-side.
@@ -229,10 +278,7 @@ void Initiator::OnAttemptResult(const OpPtr& op, std::uint32_t attempt,
       return;
     }
   }
-  if (op->done) {
-    if (tracked && op->hedged) ++stats_.hedge_losses;
-    return;
-  }
+  if (op->done) return;
   if (!tracked) return;  // stale failure: the timeout already re-drove it
   if (ok) {
     if (is_hedge) ++stats_.hedge_wins;
@@ -245,7 +291,8 @@ void Initiator::OnAttemptResult(const OpPtr& op, std::uint32_t attempt,
 void Initiator::OnAttemptTimeout(const OpPtr& op, std::uint32_t attempt) {
   const auto it = op->inflight.find(attempt);
   if (it == op->inflight.end()) return;  // already resolved
-  const int path = it->second;
+  const int path = it->second.path;
+  if (it->second.hedge) ++stats_.hedge_losses;  // gave up on this hedge
   op->inflight.erase(it);
   active_[path].erase(op->id);
   ++stats_.timeouts;
@@ -258,16 +305,27 @@ void Initiator::HandleFailure(const OpPtr& op, int failed_path) {
   if (op->done) return;
   if (!op->inflight.empty()) return;  // a racing attempt may still win
   const sim::Tick now = engine_.now();
-  ++op->failures;
-  if (failed_path < 0) ++stats_.no_path_failures;
-  if (op->failures >= config_.retry.max_attempts ||
-      (op->deadline != 0 && now >= op->deadline)) {
+  if (failed_path >= 0) {
+    ++op->failures;
+  } else {
+    // No path was up, so nothing reached a wire: don't charge the attempt
+    // budget — with a deadline set the op rides out the blackout and
+    // completes once a path returns.  Without a deadline, no-path rounds
+    // are bounded like attempts so a permanent blackout still terminates.
+    ++op->no_path_rounds;
+    ++stats_.no_path_failures;
+  }
+  const bool exhausted =
+      op->failures >= config_.retry.max_attempts ||
+      (op->deadline == 0 && op->no_path_rounds >= config_.retry.max_attempts);
+  if (exhausted || (op->deadline != 0 && now >= op->deadline)) {
     FinishOp(op, false, {});
     return;
   }
   ++stats_.retries;
   op->redrive_pending = true;
-  const sim::Tick delay = BackoffDelay(config_.retry, op->failures, rng_);
+  const sim::Tick delay =
+      BackoffDelay(config_.retry, op->failures + op->no_path_rounds, rng_);
   engine_.Schedule(delay, [this, op, failed_path] {
     if (op->done) {
       ++stats_.suppressed_redrives;  // late ack beat the re-drive
@@ -305,8 +363,16 @@ void Initiator::FinishOp(const OpPtr& op, bool ok, util::Bytes data) {
     }
   } else {
     ++stats_.failed;
+    if (!op->is_read) {
+      // Reporting this write failed: cancel it at the blades so a stale
+      // copy still in the fabric is dropped instead of applying later
+      // (ghost-write protection).  The tombstone prunes once we settle.
+      ++stats_.write_cancels;
+      system_.CancelWrite(op->wid);
+    }
   }
   if (op->root.sampled()) op->root.tracer->EndTrace(op->root, ok);
+  if (!op->is_read) MaybeSettleWrite(op);
   if (op->is_read) {
     if (op->rcb) op->rcb(ok, std::move(data));
   } else {
@@ -328,7 +394,10 @@ void Initiator::MarkPathDown(int path) {
   active_[path].clear();
   for (auto& [id, op] : victims) {
     for (auto it = op->inflight.begin(); it != op->inflight.end();) {
-      if (it->second == path) {
+      if (it->second.path == path) {
+        // An abandoned hedge still terminated: count the loss so
+        // hedges == hedge_wins + hedge_losses survives path-down events.
+        if (it->second.hedge) ++stats_.hedge_losses;
         it = op->inflight.erase(it);
         p.OnAbandoned();
       } else {
@@ -454,11 +523,22 @@ void Initiator::AttachObs(obs::Hub* hub) {
       "nlss_host_failovers_total", "Re-drives that switched path",
       [this] { return static_cast<double>(stats_.failovers); }, host);
   m.AddCallback(
-      "nlss_host_hedges_total", "Hedged (speculative duplicate) reads",
+      "nlss_host_hedges_total", "Hedged (speculative duplicate) attempts",
       [this] { return static_cast<double>(stats_.hedges); }, host);
   m.AddCallback(
       "nlss_host_hedge_wins_total", "Hedges that beat the primary",
       [this] { return static_cast<double>(stats_.hedge_wins); }, host);
+  m.AddCallback(
+      "nlss_host_hedge_losses_total",
+      "Hedges that lost, timed out, or were abandoned",
+      [this] { return static_cast<double>(stats_.hedge_losses); }, host);
+  m.AddCallback(
+      "nlss_host_hedges_denied_total", "Hedges refused by the QoS budget",
+      [this] { return static_cast<double>(stats_.hedges_denied); }, host);
+  m.AddCallback(
+      "nlss_host_write_cancels_total",
+      "Failed writes cancelled at the blades",
+      [this] { return static_cast<double>(stats_.write_cancels); }, host);
   m.AddCallback(
       "nlss_host_probes_total", "Heartbeat probes sent",
       [this] { return static_cast<double>(stats_.probes); }, host);

@@ -9,18 +9,24 @@
 //        │                        │
 //        │   per-attempt timeout ─┤─ error/timeout: backoff (seeded
 //        │                        │  jitter) then re-drive on another path
-//        │   hedge timer ─────────┤─ reads only: after the path's tracked
-//        │                        │  latency quantile, duplicate to a
-//        │                        │  second blade; first reply wins
+//        │   hedge timer ─────────┤─ reads AND writes: after the path's
+//        │                        │  tracked latency quantile, duplicate
+//        │                        │  to a second blade; first reply wins
+//        │                        │  (per-tenant budget via qos::TryHedge)
 //        └─ heartbeat probes: a silent blade is declared down after N
 //           misses; its in-flight requests re-drive immediately and the
 //           path re-enters service through half-open trials
 //
-// Writes carry an idempotency guard: each op completes its callback
-// exactly once; a late ack arriving after the attempt timed out completes
-// the op and suppresses the pending re-drive, so a re-driven write is
-// applied once.  (Re-drives that overlap an in-flight original rewrite the
-// identical payload at the identical offset — idempotent by construction.)
+// Writes are exactly-once end to end.  Host-side, each op completes its
+// callback exactly once (a late ack arriving after the attempt timed out
+// completes the op and suppresses the pending re-drive).  Server-side,
+// every write is stamped with a per-host monotonic WriteId that the
+// blades deduplicate on (cache::WriteDedupIndex), so overlapping
+// re-drives and hedges never double-apply, and a write reported failed
+// is cancelled at the blades so a stale in-fabric copy can't apply later
+// (ghost-write protection).  The dedup index is pruned by a settled
+// cursor piggybacked on subsequent writes: a seq settles once its op is
+// done and every attempt it ever issued has resolved.
 //
 // Everything is driven by the DES clock and one forked seeded RNG, so two
 // same-seed runs — including hedge races, backoff jitter, and failover —
@@ -30,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,8 +59,11 @@ struct InitiatorConfig {
   /// >= 0: single-path host (no failover) — the baseline in E15.
   int pin_path = -1;
 
-  // --- Hedged reads ---------------------------------------------------------
+  // --- Hedging --------------------------------------------------------------
   bool hedged_reads = true;
+  /// Safe because blades deduplicate on the write id: the losing copy is
+  /// absorbed, never applied twice.
+  bool hedged_writes = true;
   /// Hedge fires after the issuing path's latency quantile...
   double hedge_quantile = 0.9;
   /// ...clamped to [min, max]; before min_samples observations the path
@@ -86,7 +96,12 @@ struct InitiatorStats {
   std::uint64_t failovers = 0;  // re-drive landed on a different path
   std::uint64_t hedges = 0;
   std::uint64_t hedge_wins = 0;
-  std::uint64_t hedge_losses = 0;  // loser reply ignored
+  /// Loser/timed-out/abandoned hedge attempts.  Every hedge terminates
+  /// exactly once as a win or a loss: hedges == hedge_wins + hedge_losses
+  /// once all attempts have drained.
+  std::uint64_t hedge_losses = 0;
+  std::uint64_t hedges_denied = 0;  // qos::TryHedge refused the budget
+  std::uint64_t write_cancels = 0;  // failed writes cancelled at the blades
   std::uint64_t path_down_redrives = 0;
   std::uint64_t late_acks = 0;           // timed-out attempt acked later
   std::uint64_t suppressed_redrives = 0; // guard: redrive found op done
@@ -133,6 +148,10 @@ class Initiator {
   void ForcePathDown(std::size_t i) { MarkPathDown(static_cast<int>(i)); }
 
  private:
+  struct Attempt {
+    int path = -1;
+    bool hedge = false;
+  };
   struct Op {
     std::uint64_t id = 0;
     bool is_read = true;
@@ -140,6 +159,7 @@ class Initiator {
     std::uint64_t offset = 0;
     std::uint32_t length = 0;
     std::shared_ptr<util::Bytes> payload;  // writes
+    cache::WriteId wid;                    // writes: blade-side dedup token
     std::uint8_t priority = 0;
     qos::TenantId tenant = qos::kAutoTenant;
     ReadCallback rcb;
@@ -151,11 +171,14 @@ class Initiator {
     bool callback_fired = false;  // invariant: completion exactly once
     bool redrive_pending = false;
     bool hedged = false;
-    std::uint32_t failures = 0;
+    std::uint32_t failures = 0;        // attempts that reached a wire and failed
+    std::uint32_t no_path_rounds = 0;  // re-drive rounds with no path up
+    std::uint32_t issued_attempts = 0;    // attempts handed to the system
+    std::uint32_t resolved_attempts = 0;  // attempt callbacks received
     int first_path = -1;
     int last_path = -1;
     std::uint32_t next_attempt = 1;
-    std::map<std::uint32_t, int> inflight;  // attempt id -> path
+    std::map<std::uint32_t, Attempt> inflight;  // attempt id -> where/why
   };
   using OpPtr = std::shared_ptr<Op>;
 
@@ -171,6 +194,12 @@ class Initiator {
   void HandleFailure(const OpPtr& op, int failed_path);
   void FinishOp(const OpPtr& op, bool ok, util::Bytes data);
   sim::Tick HedgeDelay(int path) const;
+  /// Settled cursor: every write seq below this is done with all of its
+  /// attempts resolved, so the blades may prune it from the dedup index.
+  std::uint64_t SettledUpTo() const;
+  /// Retire op's seq from the unsettled set once it is done AND every
+  /// issued attempt has resolved (no copy of it remains in the fabric).
+  void MaybeSettleWrite(const OpPtr& op);
 
   void MarkPathDown(int path);
   /// Root "host.path" span recording a breaker transition (trip /
@@ -194,6 +223,11 @@ class Initiator {
   util::Rng rng_;
   InitiatorStats stats_;
   std::uint64_t next_op_ = 1;
+  // Write idempotency: per-host monotonic (writer_id_, seq) stamps, plus
+  // the unsettled set backing the piggybacked prune cursor.
+  std::uint32_t writer_id_ = 0;
+  std::uint64_t next_write_seq_ = 1;
+  std::set<std::uint64_t> unsettled_writes_;
   mutable std::uint32_t rr_next_ = 0;
   bool running_ = false;
   obs::Hub* hub_ = nullptr;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <memory>
 
+#include "check/invariant.h"
+
 namespace nlss::qos {
 
 Scheduler::Scheduler(sim::Engine& engine, TenantRegistry& registry,
@@ -27,6 +29,47 @@ TokenBucket& Scheduler::BucketFor(TenantId t) {
     bucket.Configure(spec.rate_bytes_per_sec, spec.burst_bytes);
   }
   return bucket;
+}
+
+TokenBucket& Scheduler::HedgeBucketFor(TenantId t) {
+  TokenBucket& bucket = hedge_buckets_[t];
+  const ClassSpec& spec = registry_.SpecFor(t);
+  if (bucket.rate() != spec.hedge_rate_per_sec ||
+      bucket.burst() != spec.hedge_burst) {
+    bucket.Configure(spec.hedge_rate_per_sec, spec.hedge_burst);
+  }
+  return bucket;
+}
+
+bool Scheduler::TryHedge(std::uint32_t blade, TenantId tenant) {
+  Blade& b = blades_.at(blade);
+  const Tenant& t = registry_.tenant(tenant);  // clamps unknown ids
+  const ClassSpec& spec = registry_.spec(t.cls);
+  // A hedge is a duplicate of work already admitted; unlike the byte
+  // bucket, a zero hedge rate means the class may not hedge at all.
+  if (spec.hedge_rate_per_sec == 0) {
+    slo_.OnHedge(t.id, false);
+    return false;
+  }
+  // Shed first under admission pressure: with the blade queue half full,
+  // speculative duplicates only deepen the backlog firm requests are
+  // already waiting in.
+  if (b.queue.size() * 2 >= config_.max_queue_per_blade) {
+    slo_.OnHedge(t.id, false);
+    return false;
+  }
+  const sim::Tick now = engine_.now();
+  TokenBucket& bucket = HedgeBucketFor(t.id);
+  if (!bucket.TryTake(1, now)) {
+    slo_.OnHedge(t.id, false);
+    return false;
+  }
+  // Hedge spend never exceeds budget: a grant cannot overdraw the bucket
+  // (cost 1 <= hedge_burst, and TryTake refuses when ineligible).
+  NLSS_INVARIANT(kQos, bucket.BalanceAt(now) >= -1,
+                 "hedge budget overdrawn for tenant %u", t.id);
+  slo_.OnHedge(t.id, true);
+  return true;
 }
 
 bool Scheduler::Submit(std::uint32_t blade, TenantId tenant,

@@ -59,6 +59,15 @@ class Scheduler {
   bool Submit(std::uint32_t blade, TenantId tenant, std::uint64_t cost_bytes,
               Launch launch, obs::TraceContext ctx = {});
 
+  /// Hedge-budget gate: may `tenant` spend one speculative duplicate
+  /// attempt against `blade` right now?  Charges the tenant's hedge
+  /// token bucket (ClassSpec::hedge_rate_per_sec / hedge_burst) on grant.
+  /// Hedges are shed first under admission pressure: when the blade's
+  /// queue is half full (firm requests already waiting), every hedge is
+  /// denied regardless of budget.  The attempt itself still rides the
+  /// normal Submit admission path.
+  bool TryHedge(std::uint32_t blade, TenantId tenant);
+
   TenantRegistry& registry() { return registry_; }
   const TenantRegistry& registry() const { return registry_; }
   SloTracker& slo() { return slo_; }
@@ -86,12 +95,15 @@ class Scheduler {
   void TryDispatch(std::uint32_t blade);
   void ScheduleWakeup(std::uint32_t blade, sim::Tick at);
   TokenBucket& BucketFor(TenantId t);
+  TokenBucket& HedgeBucketFor(TenantId t);
 
   sim::Engine& engine_;
   TenantRegistry& registry_;
   Config config_;
   std::vector<Blade> blades_;
   std::map<TenantId, TokenBucket> buckets_;
+  /// Hedge budgets: tokens are hedge attempts (cost 1), not bytes.
+  std::map<TenantId, TokenBucket> hedge_buckets_;
   SloTracker slo_;
 };
 

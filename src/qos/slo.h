@@ -23,11 +23,16 @@ class SloTracker {
     std::uint64_t errors = 0;
     std::uint64_t rejected = 0;  // admission-control rejections
     std::uint64_t bytes = 0;     // delivered (successful ops only)
+    std::uint64_t hedges = 0;       // hedge-budget grants
+    std::uint64_t hedges_shed = 0;  // hedges denied (budget / pressure)
     util::Histogram latency;     // submit -> completion, ns
     util::Histogram queue_wait;  // submit -> dispatch, ns
   };
 
   void OnReject(TenantId t) { ++stats_[t].rejected; }
+  void OnHedge(TenantId t, bool granted) {
+    granted ? ++stats_[t].hedges : ++stats_[t].hedges_shed;
+  }
   void OnDispatch(TenantId t, sim::Tick wait_ns) {
     stats_[t].queue_wait.Record(wait_ns);
   }

@@ -23,11 +23,11 @@ TenantRegistry::TenantRegistry() {
   // bronze is scavenger-grade.  Rates default to uncapped; deployments set
   // caps per class where they want hard ceilings.
   specs_[static_cast<int>(ServiceClass::kGold)] =
-      ClassSpec{8, 0, 32ull << 20, 128};
+      ClassSpec{8, 0, 32ull << 20, 128, 2000, 256};
   specs_[static_cast<int>(ServiceClass::kSilver)] =
-      ClassSpec{4, 0, 16ull << 20, 64};
+      ClassSpec{4, 0, 16ull << 20, 64, 500, 64};
   specs_[static_cast<int>(ServiceClass::kBronze)] =
-      ClassSpec{1, 0, 8ull << 20, 32};
+      ClassSpec{1, 0, 8ull << 20, 32, 50, 8};
 
   tenants_.push_back(Tenant{kDefaultTenant, "default", ServiceClass::kSilver});
   by_name_["default"] = kDefaultTenant;

@@ -38,6 +38,13 @@ struct ClassSpec {
   std::uint64_t rate_bytes_per_sec = 0;  // token-bucket rate; 0 = uncapped
   std::uint64_t burst_bytes = 8ull << 20;
   std::uint32_t max_queue_depth = 64;    // per-tenant, per-blade admission cap
+  // Hedge budget: speculative duplicate attempts (host read/write hedging
+  // via Scheduler::TryHedge) the class may spend, per tenant.  Hedges are
+  // pure overhead when the system is loaded, so unlike the byte bucket a
+  // zero rate means "may not hedge", and hedges are shed first under
+  // admission pressure — a bronze tenant's hedges can't eat gold headroom.
+  std::uint64_t hedge_rate_per_sec = 200;  // hedges/sec; 0 = no hedging
+  std::uint64_t hedge_burst = 32;          // bucket depth, in hedges
 };
 
 struct Tenant {

@@ -12,6 +12,8 @@
 #include "host/retry.h"
 #include "net/fabric.h"
 #include "obs/hub.h"
+#include "qos/scheduler.h"
+#include "qos/tenant.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -390,6 +392,299 @@ TEST(HostDeterminism, TwoRunDigestIdentical) {
   const std::uint32_t d1 = run(1234);
   const std::uint32_t d2 = run(1234);
   EXPECT_EQ(d1, d2) << "same-seed runs must be bit-identical";
+}
+
+// Regression (ghost write): a write whose retries are exhausted is reported
+// failed, but 1 MiB payloads are still crossing the fabric when the failure
+// fires.  Without blade-side cancellation those stale copies would apply
+// *after* the failure report — a write that "failed" yet mutated the volume.
+// The failed outcome must stick: read-back matches the pre-failure data.
+TEST_F(HostInitiatorTest, FailedWriteNeverAppliesLate) {
+  Build();  // sane host for seeding and read-back
+  const auto vol = system_->CreateVolume("physics", 32 * util::MiB);
+  const auto before = Pattern(1 * util::MiB, 41);
+  ASSERT_TRUE(Write(vol, 0, before));
+
+  // Doomed host: timeout far below the ~4 ms fabric transfer of a 1 MiB
+  // payload, so both attempts time out and the op fails while both copies
+  // are still in flight toward the blades.
+  InitiatorConfig hc;
+  hc.hedged_reads = false;
+  hc.hedged_writes = false;
+  hc.heartbeat_interval_ns = 0;
+  hc.retry.request_timeout_ns = 100 * util::kNsPerUs;
+  hc.retry.max_attempts = 2;
+  Initiator doomed(*system_, "h1", hc);
+  bool fired = false, ok = true;
+  doomed.Write(vol, 0, Pattern(1 * util::MiB, 666), [&](bool r) {
+    fired = true;
+    ok = r;
+  });
+  engine_.Run();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(ok) << "both attempts must exhaust before any payload lands";
+  EXPECT_GT(doomed.stats().write_cancels, 0u);
+
+  // The late arrivals hit the cancel tombstone and are dropped, counted.
+  const auto& ds = system_->write_dedup().stats();
+  EXPECT_GT(ds.ghost_writes, 0u) << "stale payloads must be detected";
+  EXPECT_EQ(ds.double_applies, 0u);
+
+  // The failed outcome is the truth: the volume still holds `before`.
+  auto [rok, got] = Read(vol, 0, 1 * util::MiB);
+  ASSERT_TRUE(rok);
+  EXPECT_EQ(got, before) << "a write reported failed must never apply";
+}
+
+// Regression (no-path retries): a transient blackout of every path used to
+// burn through op->failures in a few microseconds of backoff loops — the op
+// died without a single attempt reaching a wire.  No-path rounds are now
+// accounted separately; with a deadline the op rides out the blackout and
+// completes once the breakers go half-open.
+TEST_F(HostInitiatorTest, BlackoutThenRecoveryCompletesWithinDeadline) {
+  InitiatorConfig hc;
+  hc.policy = InitiatorConfig::Policy::kRoundRobin;
+  hc.hedged_reads = false;
+  hc.hedged_writes = false;
+  hc.heartbeat_interval_ns = 0;
+  hc.retry.op_deadline_ns = 2 * util::kNsPerSec;
+  Build(hc);
+  const auto vol = system_->CreateVolume("physics", 32 * util::MiB);
+
+  for (std::size_t p = 0; p < init_->path_count(); ++p) init_->ForcePathDown(p);
+  ASSERT_EQ(init_->UpPaths(), 0u);
+
+  // The blades themselves are healthy — only the host's view is dark.  The
+  // op must retry through the blackout (more rounds than max_attempts would
+  // ever have allowed) and succeed at the ~100 ms breaker half-open.
+  const sim::Tick t0 = engine_.now();
+  ASSERT_TRUE(Write(vol, 0, Pattern(64 * util::KiB, 9)));
+  EXPECT_GE(engine_.now() - t0, init_->config().path.breaker_reset_ns);
+  EXPECT_GT(init_->stats().no_path_failures,
+            static_cast<std::uint64_t>(init_->config().retry.max_attempts))
+      << "blackout rounds must not be capped by max_attempts";
+  EXPECT_EQ(init_->stats().failed, 0u);
+}
+
+// Regression (hedge-loss accounting): hedges abandoned by a path-down used
+// to vanish without a loss mark, and late failure replies returned early —
+// the books never balanced.  Every hedge now terminates exactly once:
+// hedges == hedge_wins + hedge_losses after the fabric drains.
+TEST_F(HostInitiatorTest, HedgeAccountingBalancesAcrossPathDown) {
+  InitiatorConfig hc;
+  hc.policy = InitiatorConfig::Policy::kRoundRobin;
+  hc.hedge_min_samples = 32;  // stay cold: hedge fires at max_delay
+  hc.hedge_max_delay_ns = 2 * util::kNsPerMs;
+  hc.retry.request_timeout_ns = 300 * util::kNsPerMs;
+  hc.retry.op_deadline_ns = 2 * util::kNsPerSec;
+  hc.heartbeat_interval_ns = 0;
+  controller::SystemConfig sc;
+  sc.controllers = 2;
+  Build(hc, sc);
+  const auto vol = system_->CreateVolume("physics", 32 * util::MiB);
+  ASSERT_TRUE(Write(vol, 0, Pattern(256 * util::KiB, 5)));
+  for (int i = 0; i < 4; ++i) {
+    auto [ok, got] = Read(vol, 0, 64 * util::KiB);
+    ASSERT_TRUE(ok);
+  }
+
+  // Both links turn to molasses: the next read stalls, its 2 ms hedge fires
+  // onto the other (equally slow) path, and we yank both paths while the
+  // pair is in flight.  The abandoned hedge must be booked as a loss.
+  fabric_->SetLinkDegraded(system_->switch_node(), system_->controller_node(0),
+                           20 * util::kNsPerMs);
+  fabric_->SetLinkDegraded(system_->switch_node(), system_->controller_node(1),
+                           20 * util::kNsPerMs);
+  bool fired = false, ok = false;
+  init_->Read(vol, 0, 64 * util::KiB, [&](bool r, util::Bytes) {
+    fired = true;
+    ok = r;
+  });
+  engine_.RunFor(5 * util::kNsPerMs);
+  EXPECT_GT(init_->stats().hedges, 0u) << "cold hedge must fire at 2 ms";
+  init_->ForcePathDown(0);
+  init_->ForcePathDown(1);
+  engine_.Run();  // breaker half-open ~100 ms later; deadline is 2 s
+  ASSERT_TRUE(fired);
+  EXPECT_TRUE(ok);
+  EXPECT_GT(init_->stats().hedge_losses, 0u)
+      << "the path-down abandoned hedge must count as a loss";
+  EXPECT_EQ(init_->stats().hedges,
+            init_->stats().hedge_wins + init_->stats().hedge_losses)
+      << "every hedge terminates exactly once, win or loss";
+}
+
+// Writes hedge too now: a stalled primary write is beaten by a speculative
+// duplicate on another blade, and the blade-side dedup absorbs whichever
+// copy loses — never applying a byte twice.
+TEST_F(HostInitiatorTest, HedgedWriteBeatsDegradedPrimaryExactlyOnce) {
+  InitiatorConfig hc;
+  hc.policy = InitiatorConfig::Policy::kRoundRobin;  // keep using slow path
+  hc.hedge_min_samples = 4;
+  hc.hedge_min_delay_ns = 50 * util::kNsPerUs;
+  hc.hedge_max_delay_ns = 4 * util::kNsPerMs;
+  controller::SystemConfig sc;
+  sc.controllers = 2;
+  Build(hc, sc);
+  const auto vol = system_->CreateVolume("physics", 32 * util::MiB);
+  for (int i = 0; i < 8; ++i) {  // warm both paths' latency histograms
+    ASSERT_TRUE(Write(vol, 0, Pattern(64 * util::KiB, i)));
+  }
+  fabric_->SetLinkDegraded(system_->switch_node(), system_->controller_node(0),
+                           20 * util::kNsPerMs);
+  for (int i = 0; i < 8; ++i) {
+    const sim::Tick t0 = engine_.now();
+    bool ok = false;
+    sim::Tick done = 0;
+    init_->Write(vol, 0, Pattern(64 * util::KiB, 100 + i), [&](bool r) {
+      ok = r;
+      done = engine_.now();
+    });
+    engine_.Run();  // drains loser attempts too; latency is at the callback
+    ASSERT_TRUE(ok);
+    EXPECT_LT(done - t0, 20 * util::kNsPerMs) << "write " << i;
+  }
+  EXPECT_GT(init_->stats().hedges, 0u);
+  EXPECT_GT(init_->stats().hedge_wins, 0u);
+  EXPECT_EQ(init_->stats().failed, 0u);
+
+  // The losing copies reached the blades and were absorbed, not re-applied.
+  const auto& ds = system_->write_dedup().stats();
+  EXPECT_GT(ds.dedup_hits, 0u) << "hedge losers must hit the dedup index";
+  EXPECT_EQ(ds.double_applies, 0u);
+
+  // Last write wins and is intact.
+  auto [rok, got] = Read(vol, 0, 64 * util::KiB);
+  ASSERT_TRUE(rok);
+  EXPECT_TRUE(util::CheckPattern(got, 107));
+}
+
+// Per-tenant hedge budgets: a tenant whose class grants no hedge rate gets
+// its speculation shed at the QoS gate (and still completes un-hedged),
+// while a gold tenant on the same degraded fabric hedges freely.
+TEST(HostQosHedge, BronzeHedgeBudgetShedsWhileGoldHedges) {
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  controller::SystemConfig sc;
+  sc.controllers = 2;
+  sc.disk_profile.capacity_blocks = 16 * 1024;
+  sc.cache.replication = 2;
+  controller::StorageSystem system(engine, fabric, sc);
+
+  qos::TenantRegistry registry;
+  const auto gold = registry.Register("gold-lab", qos::ServiceClass::kGold);
+  const auto bronze =
+      registry.Register("bronze-lab", qos::ServiceClass::kBronze);
+  qos::ClassSpec spec = registry.spec(qos::ServiceClass::kBronze);
+  spec.hedge_rate_per_sec = 0;  // bronze may not speculate at all
+  registry.SetClassSpec(qos::ServiceClass::kBronze, spec);
+  qos::Scheduler qos(engine, registry, system.controller_count());
+  system.AttachQos(&qos);
+
+  const auto vg = system.CreateVolume("gold-lab", 16 * util::MiB);
+  const auto vb = system.CreateVolume("bronze-lab", 16 * util::MiB);
+
+  InitiatorConfig hc;
+  hc.policy = InitiatorConfig::Policy::kRoundRobin;
+  hc.hedge_min_samples = 64;              // cold: hedge at max_delay...
+  hc.hedge_max_delay_ns = util::kNsPerMs; // ...1 ms, well under the stall
+  hc.heartbeat_interval_ns = 0;
+  Initiator hg(system, "hg", hc);
+  Initiator hb(system, "hb", hc);
+
+  auto write = [&](Initiator& h, controller::VolumeId vol, int i) {
+    bool ok = false;
+    h.Write(vol, 0, Pattern(64 * util::KiB, i), [&](bool r) { ok = r; });
+    engine.Run();
+    ASSERT_TRUE(ok);
+  };
+  write(hg, vg, 0);  // allocate backing state before the stall
+  write(hb, vb, 0);
+  fabric.SetLinkDegraded(system.switch_node(), system.controller_node(0),
+                         8 * util::kNsPerMs);
+  for (int i = 1; i <= 8; ++i) {
+    write(hg, vg, i);
+    write(hb, vb, i);
+  }
+
+  EXPECT_GT(hg.stats().hedges, 0u);
+  EXPECT_EQ(hg.stats().hedges_denied, 0u);
+  EXPECT_EQ(hb.stats().hedges, 0u) << "zero hedge rate must gate every hedge";
+  EXPECT_GT(hb.stats().hedges_denied, 0u);
+  EXPECT_GT(qos.slo().stats(gold).hedges, 0u);
+  EXPECT_GT(qos.slo().stats(bronze).hedges_shed, 0u);
+  EXPECT_EQ(qos.slo().stats(bronze).hedges, 0u);
+}
+
+// Same seed, same write-hedging + dedup workload — including a blade crash
+// mid-stream, re-drives racing their own cancelled copies, and the settled
+// cursor pruning the index — must produce a bit-identical digest, and every
+// acked write must read back intact afterwards.
+TEST(HostDeterminism, WriteHedgingDedupDigestIdentical) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    net::Fabric fabric(engine);
+    controller::SystemConfig sc;
+    sc.disk_profile.capacity_blocks = 16 * 1024;
+    sc.cache.replication = 2;
+    controller::StorageSystem system(engine, fabric, sc);
+
+    qos::TenantRegistry registry;
+    registry.Register("physics", qos::ServiceClass::kGold);
+    qos::Scheduler qos(engine, registry, system.controller_count());
+    system.AttachQos(&qos);
+    obs::Hub hub(engine);
+    system.AttachObs(&hub);
+
+    InitiatorConfig hc;
+    hc.policy = InitiatorConfig::Policy::kRoundRobin;
+    hc.seed = seed;
+    hc.hedge_min_samples = 4;
+    hc.hedge_max_delay_ns = 4 * util::kNsPerMs;
+    hc.retry.request_timeout_ns = 3 * util::kNsPerMs;
+    hc.retry.max_attempts = 8;
+    hc.heartbeat_interval_ns = 0;
+    Initiator init(system, "h0", hc);
+    init.AttachObs(&hub);
+
+    const auto vol = system.CreateVolume("physics", 32 * util::MiB);
+    // Every 8th message via blade 0 stalls 8 ms: hedges, timeouts, and
+    // dedup-absorbed duplicates all fire.
+    fabric.SetLinkDegraded(system.switch_node(), system.controller_node(0),
+                           0, 8, 8 * util::kNsPerMs);
+
+    const int kOps = 16;
+    std::vector<int> ok(kOps, 0);
+    for (int i = 0; i < kOps; ++i) {
+      if (i == 8) {  // blade dies mid-stream: the cluster remaps homes off
+        system.FailController(1);  // it; the host learns path-down the hard
+        system.RecoverCluster();   // way, from its own failed attempts
+      }
+      init.Write(vol, static_cast<std::uint64_t>(i) * 64 * util::KiB,
+                 Pattern(64 * util::KiB, 300 + i),
+                 [&ok, i](bool r) { ok[i] += r ? 1 : 0; });
+      engine.Run();
+    }
+    // Every acked write reads back exactly once-applied.
+    for (int i = 0; i < kOps; ++i) {
+      EXPECT_EQ(ok[i], 1) << "write " << i;
+      bool rok = false;
+      util::Bytes got;
+      init.Read(vol, static_cast<std::uint64_t>(i) * 64 * util::KiB,
+                64 * util::KiB, [&](bool r, util::Bytes d) {
+                  rok = r;
+                  got = std::move(d);
+                });
+      engine.Run();
+      EXPECT_TRUE(rok) << "write " << i;
+      EXPECT_TRUE(util::CheckPattern(got, 300 + static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_EQ(system.write_dedup().stats().double_applies, 0u);
+    return hub.Digest();
+  };
+  const std::uint32_t d1 = run(4242);
+  const std::uint32_t d2 = run(4242);
+  EXPECT_EQ(d1, d2) << "same-seed hedged-write runs must be bit-identical";
 }
 
 TEST_F(HostInitiatorTest, MetricsExportLabelledPerHostAndPath) {

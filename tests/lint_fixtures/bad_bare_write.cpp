@@ -1,0 +1,17 @@
+// Fixture: blade-entry writes without a write id must be flagged.
+// (Lint-only text — never compiled; Sys stands in for StorageSystem.)
+struct WriteId {
+  unsigned writer = 0;
+  unsigned long seq = 0;
+};
+
+void Bad(Sys& system, int via, int vol, long off, Bytes data, Cb cb) {
+  system.BladeWrite(via, vol, off, data, 2, 0, 0, cb);  // line 9: bare-write
+  system.WriteVia(via, vol, off, data, cb);             // line 10: bare-write
+}
+
+void Good(Sys& system, int via, int vol, long off, Bytes data, Cb cb) {
+  WriteId wid{1, 7};
+  system.BladeWrite(via, vol, off, data, 2, 0, 0, wid, cb);  // carries wid
+  system.WriteVia(via, vol, off, data, WriteId{1, 8}, cb);   // inline WriteId
+}

@@ -95,6 +95,13 @@ TEST(LintRules, PointerKeyFixture) {
   EXPECT_EQ(got, want);  // line 13 (pointer VALUE) must not be flagged
 }
 
+TEST(LintRules, BareWriteFixture) {
+  const auto got = LinesAndRules(LintFixture("bad_bare_write.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {
+      {9, "bare-write"}, {10, "bare-write"}};
+  EXPECT_EQ(got, want);  // Good() carries wid / an inline WriteId — clean
+}
+
 TEST(LintAllowlist, SuppressesLineAndFileScopes) {
   // Has a wallclock use under a same/next-line allow, a rand use under
   // allow-file, and an unordered iteration with a trailing same-line allow.
@@ -158,7 +165,8 @@ TEST(LintTree, EveryRuleHasAFiringFixture) {
   std::set<std::string> fired;
   for (const char* name :
        {"bad_wallclock.cpp", "bad_rand.cpp", "bad_rng_seed.cpp",
-        "bad_unordered_iter.cpp", "bad_pointer_key.cpp"}) {
+        "bad_unordered_iter.cpp", "bad_pointer_key.cpp",
+        "bad_bare_write.cpp"}) {
     for (const Finding& f : LintFixture(name)) fired.insert(f.rule);
   }
   for (const std::string& rule : nlss::lint::RuleNames()) {

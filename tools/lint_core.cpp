@@ -580,11 +580,53 @@ void RulePointerKey(const std::string& text, RuleSink& sink) {
   }
 }
 
+void RuleBareWrite(const std::string& text, RuleSink& sink) {
+  // Every blade-entry write (BladeWrite / WriteVia) must carry a write id
+  // so the blade-side dedup index keeps retried/hedged writes
+  // exactly-once.  Token-level: the argument list (or parameter list —
+  // declarations name their WriteId parameter, so they pass) must mention
+  // a WriteId/wid/write_id token.
+  static const char* kEntries[] = {"BladeWrite", "WriteVia"};
+  static const char* kIdTokens[] = {"WriteId", "wid", "write_id"};
+  for (const char* fn : kEntries) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(text, fn, pos)) != std::string::npos) {
+      const std::size_t open = SkipSpace(text, pos + std::string(fn).size());
+      if (open >= text.size() || text[open] != '(') {
+        ++pos;
+        continue;
+      }
+      const std::size_t close = MatchParen(text, open);
+      if (close == std::string::npos) {
+        ++pos;
+        continue;
+      }
+      const std::string args = text.substr(open + 1, close - open - 1);
+      bool has_id = false;
+      for (const char* tok : kIdTokens) {
+        if (FindToken(args, tok, 0) != std::string::npos) {
+          has_id = true;
+          break;
+        }
+      }
+      if (!has_id) {
+        sink.Add(pos, "bare-write",
+                 std::string(fn) +
+                     " call without a write id: blade-entry writes must "
+                     "pass a cache::WriteId so re-drives and hedges "
+                     "deduplicate exactly-once");
+      }
+      pos = close;
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "wallclock", "rand", "rng-seed", "unordered-iter", "pointer-key"};
+      "wallclock", "rand", "rng-seed", "unordered-iter", "pointer-key",
+      "bare-write"};
   return kRules;
 }
 
@@ -601,6 +643,7 @@ std::vector<Finding> LintText(const std::string& path,
   RuleRngSeed(stripped, sink);
   RuleUnorderedIter(stripped, sink, names);
   RulePointerKey(stripped, sink);
+  RuleBareWrite(stripped, sink);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -18,6 +18,10 @@
 //                   provably order-insensitive reductions are allowlisted.
 //   pointer-key     std::map/std::set/std::priority_queue ordered by a
 //                   pointer key — address order varies run to run.
+//   bare-write      BladeWrite/WriteVia call sites that don't pass a
+//                   write id (WriteId/wid/write_id token in the argument
+//                   list) — unattributed writes bypass the blade-side
+//                   idempotency dedup, so a re-drive could apply twice.
 //
 // Allowlist: `// nlss-lint: allow(rule)` on the offending line or the line
 // above; `// nlss-lint: allow-file(rule)` anywhere for the whole file.
