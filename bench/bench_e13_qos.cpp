@@ -27,7 +27,7 @@ constexpr std::uint64_t kScanData = 256 * util::MiB;
 constexpr std::uint32_t kGoldOp = 8 * util::KiB;
 constexpr std::uint32_t kScanOp = 256 * util::KiB;
 constexpr std::size_t kGoldStreams = 4;
-constexpr std::size_t kScanStreams = 32;
+std::size_t g_scan_streams = 32;  // --hosts overrides (CI scale knob)
 constexpr sim::Tick kWindow = 2 * util::kNsPerSec;
 constexpr std::uint64_t kBronzeRate = 64 * 1000 * 1000;  // 64 MB/s cap
 
@@ -60,7 +60,7 @@ struct ContendedResult {
 /// attaches the scheduler (gold weight 8 vs bronze 1, bronze rate-capped).
 ContendedResult RunContended(bool with_scan, bool with_qos,
                              bool print_slo = false) {
-  TestBed bed(BedConfig(), kGoldStreams + kScanStreams);
+  TestBed bed(BedConfig(), kGoldStreams + g_scan_streams);
   const auto gold_vol = bed.system->CreateVolume("oltp-lab", kGoldData);
   const auto scan_vol = bed.system->CreateVolume("scan-lab", kScanData);
   Preload(bed, gold_vol, kGoldData);
@@ -90,12 +90,12 @@ ContendedResult RunContended(bool with_scan, bool with_qos,
   util::Histogram gold_lat, scan_lat;
   std::uint64_t gold_bytes = 0, scan_bytes = 0;
   std::uint64_t gold_ops = 0, scan_ops = 0;
-  std::vector<std::uint64_t> scan_pos(kScanStreams);
-  for (std::size_t s = 0; s < kScanStreams; ++s) {
-    scan_pos[s] = (s * kScanData / kScanStreams) / kScanOp * kScanOp;
+  std::vector<std::uint64_t> scan_pos(g_scan_streams);
+  for (std::size_t s = 0; s < g_scan_streams; ++s) {
+    scan_pos[s] = (s * kScanData / g_scan_streams) / kScanOp * kScanOp;
   }
 
-  const std::size_t streams = kGoldStreams + (with_scan ? kScanStreams : 0);
+  const std::size_t streams = kGoldStreams + (with_scan ? g_scan_streams : 0);
   const sim::Tick start = bed.engine.now();
   ClosedLoop::Run(
       bed.engine, streams, start + kWindow,
@@ -219,9 +219,11 @@ std::pair<double, double> RunWeightPair(std::uint32_t weight) {
 }  // namespace
 }  // namespace nlss::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nlss;
   using namespace nlss::bench;
+  const Args args = Args::Parse(argc, argv);
+  g_scan_streams = args.HostsOr(32);
   PrintHeader("E13", "Performance isolation under shared load (QoS)",
               "one shared pool serves many programs; WFQ + token buckets "
               "keep a bulk scanner from ruining an interactive tenant's "

@@ -15,7 +15,7 @@ namespace {
 
 constexpr std::uint64_t kDataset = 256 * util::MiB;
 constexpr std::uint32_t kOpBytes = 64 * util::KiB;
-constexpr std::size_t kHosts = 48;
+std::size_t g_hosts = 48;  // --hosts overrides (CI scale knob)
 constexpr sim::Tick kWindow = 2 * util::kNsPerSec;
 
 double RunCluster(std::uint32_t blades) {
@@ -27,7 +27,7 @@ double RunCluster(std::uint32_t blades) {
   config.cache.node_capacity_pages = 1024;  // 64 MiB per blade
   // Write-back aging: coalesce rewrites instead of flushing per write.
   config.cache.flush_delay_ns = 200 * util::kNsPerMs;
-  TestBed bed(config, kHosts);
+  TestBed bed(config, g_hosts);
   const auto vol = bed.system->CreateVolume("e1", kDataset);
   Preload(bed, vol, kDataset);
   DropCaches(bed);
@@ -37,7 +37,7 @@ double RunCluster(std::uint32_t blades) {
   const std::uint64_t ops_space = kDataset / kOpBytes;
   const sim::Tick start = bed.engine.now();
   auto [bytes, latency] = ClosedLoop::Run(
-      bed.engine, kHosts, start + kWindow,
+      bed.engine, g_hosts, start + kWindow,
       [&](std::size_t h, std::function<void(bool, std::uint64_t)> done) {
         const std::uint64_t off = rng.Below(ops_space) * kOpBytes;
         if (rng.Chance(0.9)) {
@@ -65,7 +65,7 @@ double RunBaseline(std::uint32_t controllers) {
   config.cache_pages_per_controller = 1024;
   baseline::TraditionalArray array(engine, fabric, config);
   std::vector<net::NodeId> hosts;
-  for (std::size_t h = 0; h < kHosts; ++h) {
+  for (std::size_t h = 0; h < g_hosts; ++h) {
     hosts.push_back(array.AttachHost("h" + std::to_string(h)));
   }
   // Identical disk substrate: 8 RAID-5 groups, one LUN each.
@@ -93,14 +93,14 @@ double RunBaseline(std::uint32_t controllers) {
   for (std::uint64_t off = 0; off < kDataset; off += util::MiB) {
     const std::uint32_t lun = static_cast<std::uint32_t>(off / per_lun) %
                               static_cast<std::uint32_t>(luns.size());
-    array.Read(hosts[(off / util::MiB) % kHosts], luns[lun], off % per_lun,
+    array.Read(hosts[(off / util::MiB) % g_hosts], luns[lun], off % per_lun,
                util::MiB, [](bool, util::Bytes) {});
     engine.Run();
   }
   util::Rng rng(1);
   const sim::Tick start = engine.now();
   auto [bytes, latency] = ClosedLoop::Run(
-      engine, kHosts, start + kWindow,
+      engine, g_hosts, start + kWindow,
       [&](std::size_t h, std::function<void(bool, std::uint64_t)> done) {
         const std::uint64_t global = rng.Below(kDataset / kOpBytes) * kOpBytes;
         const std::uint32_t lun =
@@ -127,9 +127,11 @@ double RunBaseline(std::uint32_t controllers) {
 }  // namespace
 }  // namespace nlss::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nlss;
   using namespace nlss::bench;
+  const Args args = Args::Parse(argc, argv);
+  g_hosts = args.HostsOr(48);
   PrintHeader("E1", "Aggregate throughput vs controller blades (paper 2.1)",
               "adding blades scales delivered I/O without partitioning; "
               "traditional controllers plateau");
@@ -149,7 +151,8 @@ int main() {
                   util::Table::Cell(mbps, 1),
                   util::Table::Cell(base > 0 ? mbps / base : 0.0, 2)});
   }
-  table.Print("E1 results (48 hosts, 64 KiB ops, 90/10 r/w, 256 MiB set):");
+  table.Print("E1 results (" + std::to_string(g_hosts) +
+              " hosts, 64 KiB ops, 90/10 r/w, 256 MiB set):");
   std::printf("\nExpected shape: throughput grows with blades (pooled cache +"
               "\nmore engines) until the disks bound it; the dual-controller"
               "\nbaseline stops scaling at 2.\n");

@@ -22,27 +22,59 @@ namespace nlss::bench {
 /// Command-line arguments shared by the bench binaries:
 ///   --seed=<n>   reseed the workload RNGs (default 7)
 ///   --json       emit machine-readable results alongside the tables
-/// Unknown flags abort with usage, so a typo can't silently run the
-/// default experiment.
+///   --hosts=<n>  scale knob: number of hosts/processes (0 = bench default)
+///   --ops=<n>    scale knob: ops per host/stream (0 = bench default)
+///   --files=<n>  scale knob: file-set size (0 = bench default)
+/// The scale knobs let CI run the trace-shaped workloads (E17) and the
+/// scaling sweeps (E1/E13) at a reduced size without editing the bench;
+/// each bench applies only the knobs that make sense for it.  Unknown
+/// flags abort with usage, so a typo can't silently run the default
+/// experiment.
 struct Args {
   std::uint64_t seed = 7;
   bool json = false;
+  std::uint64_t hosts = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t files = 0;
+
+  /// `hosts` if set, else the bench's built-in default (same for the rest).
+  std::uint64_t HostsOr(std::uint64_t def) const {
+    return hosts != 0 ? hosts : def;
+  }
+  std::uint64_t OpsOr(std::uint64_t def) const { return ops != 0 ? ops : def; }
+  std::uint64_t FilesOr(std::uint64_t def) const {
+    return files != 0 ? files : def;
+  }
 
   static Args Parse(int argc, char** argv) {
     Args args;
+    const auto parse_u64 = [](const std::string& arg, std::size_t prefix) {
+      char* end = nullptr;
+      const std::uint64_t v =
+          std::strtoull(arg.c_str() + prefix, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "invalid flag value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return v;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--json") {
         args.json = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
-        char* end = nullptr;
-        args.seed = std::strtoull(arg.c_str() + 7, &end, 10);
-        if (end == nullptr || *end != '\0') {
-          std::fprintf(stderr, "invalid --seed value: %s\n", arg.c_str());
-          std::exit(2);
-        }
+        args.seed = parse_u64(arg, 7);
+      } else if (arg.rfind("--hosts=", 0) == 0) {
+        args.hosts = parse_u64(arg, 8);
+      } else if (arg.rfind("--ops=", 0) == 0) {
+        args.ops = parse_u64(arg, 6);
+      } else if (arg.rfind("--files=", 0) == 0) {
+        args.files = parse_u64(arg, 8);
       } else {
-        std::fprintf(stderr, "usage: %s [--seed=<n>] [--json]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--seed=<n>] [--json] [--hosts=<n>] "
+                     "[--ops=<n>] [--files=<n>]\n",
+                     argv[0]);
         std::exit(2);
       }
     }

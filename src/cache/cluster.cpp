@@ -188,14 +188,17 @@ void CacheCluster::WriteToBacking(ControllerId ctrl, PageKey key,
                                   BackingStore::WriteCallback cb,
                                   obs::TraceContext ctx) {
   BackingStore* vol = volumes_.at(key.volume);
-  const std::uint32_t pb = PageBlocks(key.volume);
-  const std::uint64_t block = key.page * pb;
+  const std::uint64_t block = key.page * PageBlocks(key.volume);
   if (block >= vol->CapacityBlocks()) {
     engine_.Schedule(0, [cb = std::move(cb)] { cb(true); });
     return;
   }
+  // `data` may span several pages (flush coalescing): the block count is
+  // derived from the payload, clamped to capacity like single-page writes.
+  const std::uint64_t data_blocks = data.size() / vol->block_size();
   const std::uint32_t count = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(pb, vol->CapacityBlocks() - block));
+      std::min<std::uint64_t>(data_blocks, vol->CapacityBlocks() - block));
+  ++ctrls_[ctrl]->stats.backing_writes;
   auto issue = [vol, block, count, ctx,
                 snapshot = util::Bytes(
                     data.begin(),
@@ -233,8 +236,75 @@ void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
     });
     return;
   }
-  ex.flushing = true;
-  f->busy = true;
+  FlushRun(ctrl, BuildFlushRun(ctrl, key), std::move(cb));
+}
+
+std::vector<PageKey> CacheCluster::BuildFlushRun(ControllerId ctrl,
+                                                 const PageKey& seed) {
+  std::vector<PageKey> run{seed};
+  if (config_.coalesce_pages <= 1) return run;
+  // A neighbor may ride the run when it would be flushable on its own:
+  // dirty primary copy, not mid-operation, and not already being flushed.
+  auto flushable = [&](const PageKey& k) {
+    const CacheNode::Frame* f = ctrls_[ctrl]->cache.Find(k);
+    if (f == nullptr || !f->dirty || f->busy || f->is_replica) return false;
+    const auto it = extra_[ctrl].find(k);
+    return it == extra_[ctrl].end() || !it->second.flushing;
+  };
+  for (std::uint64_t p = seed.page + 1;
+       run.size() < config_.coalesce_pages &&
+       flushable(PageKey{seed.volume, p});
+       ++p) {
+    run.push_back(PageKey{seed.volume, p});
+  }
+  std::uint64_t lo = seed.page;
+  while (lo > 0 && run.size() < config_.coalesce_pages &&
+         flushable(PageKey{seed.volume, lo - 1})) {
+    --lo;
+    run.insert(run.begin(), PageKey{seed.volume, lo});
+  }
+  return run;
+}
+
+void CacheCluster::FlushRun(ControllerId ctrl, std::vector<PageKey> run,
+                            std::function<void(bool)> cb) {
+  Controller& c = *ctrls_[ctrl];
+  struct PageSnap {
+    PageKey key;
+    std::uint64_t epoch = 0;
+    WriteId wid;  // representative (writer, seq) flushed for this page
+  };
+  auto snaps = std::make_shared<std::vector<PageSnap>>();
+  util::Bytes data;
+  data.reserve(run.size() * config_.page_bytes);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    const PageKey& k = run[i];
+    NLSS_INVARIANT(kCache,
+                   k.volume == run.front().volume &&
+                       k.page == run.front().page + i,
+                   "coalesced flush run not contiguous at index %zu", i);
+    CacheNode::Frame* f = c.cache.Find(k);
+    // Ghost-write audit: a frame dirtied by a cancelled write id can only
+    // exist when the cancel demonstrably raced the application (counted
+    // as a late cancel) — a cancel that arrived first must have dropped
+    // the payload before it ever reached the write-back path.
+    if (dedup_ != nullptr && f->last_write.valid()) {
+      NLSS_INVARIANT(kCache,
+                     dedup_->Lookup(f->last_write) != WriteState::kCancelled ||
+                         dedup_->stats().late_cancels > 0,
+                     "flushing page dirtied by cancelled write (%u,%llu)",
+                     f->last_write.writer,
+                     static_cast<unsigned long long>(f->last_write.seq));
+    }
+    Extra(ctrl, k).flushing = true;
+    f->busy = true;
+    snaps->push_back(PageSnap{k, f->dirty_epoch, f->last_write});
+    data.insert(data.end(), f->data.begin(), f->data.end());
+  }
+  if (run.size() > 1) {
+    ++c.stats.coalesced_runs;
+    c.stats.coalesced_pages += run.size();
+  }
   // Background write-backs get their own root span — they never ride on a
   // request trace, so without this they are invisible in the trace view.
   obs::TraceContext flush_ctx;
@@ -242,57 +312,98 @@ void CacheCluster::FlushPage(ControllerId ctrl, PageKey key,
     flush_ctx = tracer_->StartTrace(obs::Layer::kOther, "cache.flush");
     if (flush_ctx.sampled()) {
       tracer_->Annotate(flush_ctx, "ctrl=" + std::to_string(ctrl));
+      if (snaps->size() > 1) {
+        // Representative (writer, seq) range the merged write covers, so
+        // a trace of a coalesced flush stays attributable to host writes.
+        std::uint64_t lo = 0, hi = 0;
+        std::uint32_t writer = 0;
+        for (const PageSnap& s : *snaps) {
+          if (!s.wid.valid()) continue;
+          if (lo == 0 || s.wid.seq < lo) lo = s.wid.seq;
+          if (s.wid.seq > hi) hi = s.wid.seq;
+          writer = s.wid.writer;
+        }
+        tracer_->Annotate(flush_ctx,
+                          "coalesced=" + std::to_string(snaps->size()) +
+                              " writer=" + std::to_string(writer) + " seq=[" +
+                              std::to_string(lo) + "," + std::to_string(hi) +
+                              "]");
+      }
     }
   }
-  const std::uint64_t epoch = f->dirty_epoch;
   // Charge the owning controller's data engine for the write-back.
   const sim::Tick compute_done =
-      c.compute.AcquireBytes(config_.page_bytes, config_.serve_ns_per_byte);
-  util::Bytes snapshot = f->data;
-  engine_.ScheduleAt(compute_done, [this, ctrl, key, epoch, flush_ctx,
-                                    snapshot = std::move(snapshot),
+      c.compute.AcquireBytes(data.size(), config_.serve_ns_per_byte);
+  engine_.ScheduleAt(compute_done, [this, ctrl, flush_ctx, snaps,
+                                    data = std::move(data),
                                     cb = std::move(cb)]() mutable {
-    WriteToBacking(ctrl, key, snapshot, [this, ctrl, key, epoch, flush_ctx,
-                                   cb = std::move(cb)](bool ok) mutable {
+    WriteToBacking(ctrl, snaps->front().key, data, [this, ctrl, snaps,
+                                                    flush_ctx,
+                                                    cb = std::move(cb)](
+                                                       bool ok) mutable {
       Controller& c = *ctrls_[ctrl];
-      CacheNode::Frame* f = c.cache.Find(key);
-      FrameExtra& ex = Extra(ctrl, key);
-      ++c.stats.flushes;
-      bool still_dirty = false;
-      if (f != nullptr) {
-        if (ok && f->dirty_epoch == epoch) {
-          f->dirty = false;
-          // Release the N-way replicas now that the data is on disk.
-          for (const ControllerId site : ex.replica_sites) {
-            if (!ctrls_[site]->alive) continue;
-            Msg(ctrl, site, config_.ctrl_msg_bytes,
-                [this, site, key, ctrl] {
-                  CacheNode::Frame* rf = ctrls_[site]->cache.Find(key);
-                  if (rf != nullptr && rf->is_replica &&
-                      rf->replica_owner == ctrl) {
-                    ctrls_[site]->cache.Erase(key);
-                    EraseExtra(site, key);
-                  }
-                },
-                nullptr);
+      std::vector<PageKey> redo;
+      for (const PageSnap& s : *snaps) {
+        const PageKey key = s.key;
+        CacheNode::Frame* f = c.cache.Find(key);
+        FrameExtra& ex = Extra(ctrl, key);
+        ++c.stats.flushes;
+        bool still_dirty = false;
+        if (f != nullptr) {
+          if (ok && f->dirty_epoch == s.epoch) {
+            // Flush-ordering: an unchanged dirty epoch means no write
+            // landed since the snapshot, so the representative id the run
+            // carried must still be the frame's — a write id that moved
+            // without an epoch bump would mark data clean that the dedup
+            // index still accounts as unflushed.
+            NLSS_INVARIANT(kCache,
+                           f->last_write.writer == s.wid.writer &&
+                               f->last_write.seq == s.wid.seq,
+                           "frame write id changed without a dirty-epoch "
+                           "bump (page %llu)",
+                           static_cast<unsigned long long>(key.page));
+            f->dirty = false;
+            // Release the N-way replicas now that the data is on disk.
+            for (const ControllerId site : ex.replica_sites) {
+              if (!ctrls_[site]->alive) continue;
+              Msg(ctrl, site, config_.ctrl_msg_bytes,
+                  [this, site, key, ctrl] {
+                    CacheNode::Frame* rf = ctrls_[site]->cache.Find(key);
+                    if (rf != nullptr && rf->is_replica &&
+                        rf->replica_owner == ctrl) {
+                      ctrls_[site]->cache.Erase(key);
+                      EraseExtra(site, key);
+                    }
+                  },
+                  nullptr);
+            }
+            ex.replica_sites.clear();
+          } else if (f->dirty) {
+            still_dirty = true;  // re-written during the flush, or I/O error
           }
-          ex.replica_sites.clear();
-        } else if (f->dirty) {
-          still_dirty = true;  // re-written during the flush, or I/O error
+          f->busy = false;
         }
-        f->busy = false;
+        ex.flushing = false;
+        auto waiters = std::move(ex.flush_waiters);
+        ex.flush_waiters.clear();
+        for (auto& w : waiters) engine_.Schedule(0, std::move(w));
+        if (still_dirty) redo.push_back(key);
       }
-      ex.flushing = false;
       if (flush_ctx.sampled()) {
-        flush_ctx.tracer->EndTrace(flush_ctx, ok && !still_dirty);
+        flush_ctx.tracer->EndTrace(flush_ctx, ok && redo.empty());
       }
-      auto waiters = std::move(ex.flush_waiters);
-      ex.flush_waiters.clear();
-      for (auto& w : waiters) engine_.Schedule(0, std::move(w));
-      if (still_dirty) {
-        FlushPage(ctrl, key, std::move(cb));
-      } else if (cb) {
-        cb(ok);
+      if (redo.empty()) {
+        if (cb) cb(ok);
+        return;
+      }
+      // Pages re-written mid-flight go around again; cb follows them.
+      auto join = std::make_shared<Join>(
+          static_cast<int>(redo.size()),
+          [cb = std::move(cb)](bool all_ok) {
+            if (cb) cb(all_ok);
+          });
+      for (const PageKey& key : redo) {
+        FlushPage(ctrl, key, [join](bool r) { join->Arrive(r); });
       }
     }, flush_ctx);
   });
@@ -601,7 +712,8 @@ void CacheCluster::HandleGetS(ControllerId via, PageKey key,
 void CacheCluster::HandleGetX(ControllerId via, PageKey key,
                               std::uint32_t offset, util::Bytes data,
                               std::uint32_t replication, std::uint8_t priority,
-                              WriteCallback cb, obs::TraceContext ctx) {
+                              WriteCallback cb, obs::TraceContext ctx,
+                              WriteId wid) {
   const ControllerId home = HomeOf(key);
   const bool full_page =
       offset == 0 && data.size() == config_.page_bytes;
@@ -613,12 +725,12 @@ void CacheCluster::HandleGetX(ControllerId via, PageKey key,
 
   // Step 3 onwards, once we know the page's base content.
   auto apply = [this, via, home, key, offset, data = std::move(data),
-                replication, priority, cb, ctx,
+                replication, priority, cb, ctx, wid,
                 fail](util::Bytes base) mutable {
     InvalidateHolders(
         via, key,
         [this, via, home, key, offset, data = std::move(data), replication,
-         priority, cb, ctx, base = std::move(base)]() mutable {
+         priority, cb, ctx, wid, base = std::move(base)]() mutable {
           CacheNode::Frame& f = InstallFrame(via, key, std::move(base));
           std::memcpy(f.data.data() + offset, data.data(), data.size());
           f.priority = std::max(f.priority, priority);
@@ -626,6 +738,10 @@ void CacheCluster::HandleGetX(ControllerId via, PageKey key,
           f.is_replica = false;
           f.replica_owner = kNoController;
           ++f.dirty_epoch;
+          // Every write moves the representative id with the epoch —
+          // including invalid ids from unattributed legacy traffic, so a
+          // stale (writer, seq) never outlives the data it described.
+          f.last_write = wid;
           DirEntry& e = dir_[home][key];
           // Holders were just invalidated: the new owner must be the only
           // node carrying this page dirty, and ownership transfer only
@@ -768,7 +884,8 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
 void CacheCluster::WritePage(ControllerId via, PageKey key,
                              std::uint32_t offset, util::Bytes data,
                              std::uint32_t replication, std::uint8_t priority,
-                             WriteCallback cb, obs::TraceContext ctx) {
+                             WriteCallback cb, obs::TraceContext ctx,
+                             WriteId wid) {
   Controller& c = *ctrls_[via];
   if (!c.alive) {
     engine_.Schedule(0, [cb = std::move(cb)] { cb(false); });
@@ -787,13 +904,13 @@ void CacheCluster::WritePage(ControllerId via, PageKey key,
   auto shared_data = std::make_shared<util::Bytes>(std::move(data));
   Msg(via, home, config_.ctrl_msg_bytes,
       [this, via, home, key, offset, replication, priority, shared_cb,
-       shared_data, span] {
+       shared_data, span, wid] {
         AcquireEntry(home, key,
                      [this, via, key, offset, replication, priority,
-                      shared_cb, shared_data, span] {
+                      shared_cb, shared_data, span, wid] {
           HandleGetX(via, key, offset, std::move(*shared_data), replication,
                      priority, [shared_cb](bool ok) { (*shared_cb)(ok); },
-                     span);
+                     span, wid);
         });
       },
       [shared_cb] { (*shared_cb)(false); }, span);
@@ -852,9 +969,10 @@ void CacheCluster::Read(ControllerId via, std::uint32_t volume,
 void CacheCluster::Write(ControllerId via, std::uint32_t volume,
                          std::uint64_t offset,
                          std::span<const std::uint8_t> data, WriteCallback cb,
-                         std::uint8_t priority, obs::TraceContext ctx) {
+                         std::uint8_t priority, obs::TraceContext ctx,
+                         WriteId wid) {
   WriteWithReplication(via, volume, offset, data, config_.replication,
-                       std::move(cb), priority, ctx);
+                       std::move(cb), priority, ctx, wid);
 }
 
 void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
@@ -863,7 +981,7 @@ void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
                                         std::uint32_t replication,
                                         WriteCallback cb,
                                         std::uint8_t priority,
-                                        obs::TraceContext ctx) {
+                                        obs::TraceContext ctx, WriteId wid) {
   assert(!data.empty());
   const obs::TraceContext span =
       obs::StartSpan(ctx, obs::Layer::kCache, "cache.write");
@@ -898,7 +1016,7 @@ void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
     util::Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(p.src),
                       data.begin() + static_cast<std::ptrdiff_t>(p.src + p.len));
     WritePage(via, p.key, p.in_page, std::move(chunk), replication, priority,
-              [join](bool ok) { join->Arrive(ok); }, span);
+              [join](bool ok) { join->Arrive(ok); }, span, wid);
   }
 }
 
@@ -1028,6 +1146,9 @@ CacheCluster::Stats CacheCluster::Totals() const {
     t.flushes += c->stats.flushes;
     t.evictions += c->stats.evictions;
     t.invalidations_received += c->stats.invalidations_received;
+    t.backing_writes += c->stats.backing_writes;
+    t.coalesced_runs += c->stats.coalesced_runs;
+    t.coalesced_pages += c->stats.coalesced_pages;
   }
   return t;
 }

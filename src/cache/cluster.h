@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cache/backing.h"
+#include "cache/dedup.h"
 #include "cache/node.h"
 #include "cache/types.h"
 #include "net/fabric.h"
@@ -59,6 +60,12 @@ class CacheCluster {
     // Sequential readahead: on a demand miss, also fetch the next N pages
     // (paper §4 "storage prefetch operations").  0 disables.
     std::uint32_t readahead_pages = 0;
+    // Small-write coalescing in the write-back path (E17): when a dirty
+    // page is flushed, up to this many adjacent dirty pages of the same
+    // volume on the same blade ride the same back-end write, so a stream
+    // of small writes costs one large RAID write instead of one per page.
+    // <= 1 disables (every page flushes alone).
+    std::uint32_t coalesce_pages = 1;
   };
 
   struct Stats {
@@ -70,6 +77,12 @@ class CacheCluster {
     std::uint64_t flushes = 0;
     std::uint64_t evictions = 0;
     std::uint64_t invalidations_received = 0;
+    // Back-end (cache -> backing store) write ops actually issued.  With
+    // coalescing, several flushed pages share one backing write, so this
+    // is the number the E17 small-file-ingest claim is measured on.
+    std::uint64_t backing_writes = 0;
+    std::uint64_t coalesced_runs = 0;   // backing writes covering > 1 page
+    std::uint64_t coalesced_pages = 0;  // pages that rode a multi-page run
   };
 
   using ReadCallback = std::function<void(bool ok, util::Bytes data)>;
@@ -89,9 +102,13 @@ class CacheCluster {
   void Read(ControllerId via, std::uint32_t volume, std::uint64_t offset,
             std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0,
             obs::TraceContext ctx = {});
+  /// `wid` (when valid) stamps the dirtied frames as the representative
+  /// (writer, seq) the flush coalescer reports for the pages of a merged
+  /// back-end write; invalid = legacy unattributed traffic.
   void Write(ControllerId via, std::uint32_t volume, std::uint64_t offset,
              std::span<const std::uint8_t> data, WriteCallback cb,
-             std::uint8_t priority = 0, obs::TraceContext ctx = {});
+             std::uint8_t priority = 0, obs::TraceContext ctx = {},
+             WriteId wid = {});
 
   /// Override the replication factor for a single write (per-file policy
   /// support, paper §4): 1 = no peer copies.
@@ -100,7 +117,7 @@ class CacheCluster {
                             std::span<const std::uint8_t> data,
                             std::uint32_t replication, WriteCallback cb,
                             std::uint8_t priority = 0,
-                            obs::TraceContext ctx = {});
+                            obs::TraceContext ctx = {}, WriteId wid = {});
 
   /// Flush every dirty page to backing; cb(true) when clean.
   void FlushAll(WriteCallback cb);
@@ -122,6 +139,11 @@ class CacheCluster {
   /// Root-trace background flush write-backs as "cache.flush" spans.
   /// Pass nullptr to detach.
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach the cluster-wide write idempotency index (owned by the
+  /// StorageSystem) so the flush coalescer can audit the representative
+  /// write ids of the pages it merges.  Pass nullptr to detach.
+  void SetDedupIndex(const WriteDedupIndex* dedup) { dedup_ = dedup; }
 
   /// Return a failed controller to service with an empty cache (replaced
   /// or upgraded blade).  Call Recover() afterwards to rebalance homes.
@@ -196,7 +218,7 @@ class CacheCluster {
   void HandleGetX(ControllerId via, PageKey key, std::uint32_t offset,
                   util::Bytes data, std::uint32_t replication,
                   std::uint8_t priority, WriteCallback cb,
-                  obs::TraceContext ctx = {});
+                  obs::TraceContext ctx = {}, WriteId wid = {});
   /// Deliver current page content to `via` from owner/sharer/backing.
   /// Does NOT register `via` anywhere.  cb(false) on unrecoverable miss.
   void FetchCurrent(ControllerId via, PageKey key,
@@ -219,9 +241,19 @@ class CacheCluster {
                       BackingStore::WriteCallback cb,
                       obs::TraceContext ctx = {});
 
-  /// Asynchronous write-back of a dirty page.
+  /// Asynchronous write-back of a dirty page.  With coalescing enabled
+  /// (Config::coalesce_pages > 1) adjacent dirty pages of the same volume
+  /// on the same blade are merged into the same back-end write.
   void FlushPage(ControllerId ctrl, PageKey key,
                  std::function<void(bool)> cb = nullptr);
+  /// Contiguous run of flushable pages around `seed` (always contains it),
+  /// sorted by page index and capped at Config::coalesce_pages.
+  std::vector<PageKey> BuildFlushRun(ControllerId ctrl, const PageKey& seed);
+  /// Write one contiguous run of dirty pages back as a single backing
+  /// write, then settle each page individually (epoch check, replica
+  /// release, waiters, re-flush when re-dirtied mid-flight).
+  void FlushRun(ControllerId ctrl, std::vector<PageKey> run,
+                std::function<void(bool)> cb);
 
   /// Page-granular entry points used by Read/Write.
   void ReadPage(ControllerId via, PageKey key,
@@ -233,7 +265,7 @@ class CacheCluster {
   void WritePage(ControllerId via, PageKey key, std::uint32_t offset,
                  util::Bytes data, std::uint32_t replication,
                  std::uint8_t priority, WriteCallback cb,
-                 obs::TraceContext ctx = {});
+                 obs::TraceContext ctx = {}, WriteId wid = {});
 
   FrameExtra& Extra(ControllerId ctrl, const PageKey& key);
   void EraseExtra(ControllerId ctrl, const PageKey& key);
@@ -256,6 +288,8 @@ class CacheCluster {
   // Readahead fetches currently in flight (suppresses duplicates).
   std::unordered_map<PageKey, bool, PageKeyHash> readahead_inflight_;
   obs::Tracer* tracer_ = nullptr;  // roots "cache.flush" background spans
+  // Audit-only view of the write idempotency index (null when detached).
+  const WriteDedupIndex* dedup_ = nullptr;
 };
 
 }  // namespace nlss::cache

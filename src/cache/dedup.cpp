@@ -127,6 +127,23 @@ void WriteDedupIndex::Cancel(const WriteId& id) {
   }
 }
 
+WriteState WriteDedupIndex::Lookup(const WriteId& id) const {
+  if (!id.valid()) return WriteState::kUnknown;
+  const auto wit = writers_.find(id.writer);
+  if (wit == writers_.end()) return WriteState::kUnknown;
+  const auto eit = wit->second.entries.find(id.seq);
+  if (eit == wit->second.entries.end()) return WriteState::kUnknown;
+  switch (eit->second.state) {
+    case State::kInFlight:
+      return WriteState::kInFlight;
+    case State::kApplied:
+      return WriteState::kApplied;
+    case State::kCancelled:
+      return WriteState::kCancelled;
+  }
+  return WriteState::kUnknown;  // unreachable
+}
+
 std::size_t WriteDedupIndex::entries() const {
   std::size_t n = 0;
   for (const auto& [writer, w] : writers_) n += w.entries.size();

@@ -50,6 +50,14 @@ struct WriteId {
   bool valid() const { return writer != 0 && seq != 0; }
 };
 
+/// Externally visible lifecycle state of one write id (see Lookup).
+enum class WriteState : std::uint8_t {
+  kUnknown,    // never seen, or already pruned below the settled cursor
+  kInFlight,   // an application admitted by Begin is still running
+  kApplied,    // applied exactly once; outcome recorded
+  kCancelled,  // writer reported failure; tombstoned against late arrivals
+};
+
 class WriteDedupIndex {
  public:
   struct Stats {
@@ -84,6 +92,12 @@ class WriteDedupIndex {
 
   const Stats& stats() const { return stats_; }
   std::size_t entries() const;
+
+  /// Audit query: lifecycle state of `id` as the index currently records
+  /// it.  Used by the cache flush coalescer's invariants — a frame dirtied
+  /// by a cancelled write id may only exist when the cancel demonstrably
+  /// raced the application (late_cancels > 0).
+  WriteState Lookup(const WriteId& id) const;
 
  private:
   enum class State : std::uint8_t { kInFlight, kApplied, kCancelled };

@@ -8,6 +8,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "cache/dedup.h"
 #include "cache/types.h"
 #include "util/bytes.h"
 
@@ -23,6 +24,12 @@ class CacheNode {
     ControllerId replica_owner = kNoController;  // valid when is_replica
     std::uint64_t dirty_epoch = 0;  // bumped per write; guards stale flushes
     std::uint8_t priority = 0;  // retention priority (paper §4): evict low first
+    // WriteId of the attributed write that last dirtied this frame (invalid
+    // for legacy unattributed traffic).  The flush coalescer carries it as
+    // the representative (writer, seq) for each page of a merged back-end
+    // write, so dedup cancel/ghost-write accounting stays auditable after
+    // pages from different writers ride one backing write.
+    WriteId last_write;
   };
 
   explicit CacheNode(std::uint64_t capacity_pages)

@@ -48,6 +48,9 @@ StorageSystem::StorageSystem(sim::Engine& engine, net::Fabric& fabric,
   cache_ = std::make_unique<cache::CacheCluster>(engine_, fabric_,
                                                  controller_nodes_,
                                                  config_.cache);
+  // The flush coalescer audits the representative write ids of the pages
+  // it merges against the idempotency index (ghost-write invariants).
+  cache_->SetDedupIndex(&dedup_);
   rebuild_ = std::make_unique<raid::RebuildEngine>(engine_);
   for (std::uint32_t i = 0; i < config_.controllers; ++i) {
     rebuild_->AddWorker(&cache_->compute(i));
@@ -541,7 +544,7 @@ void StorageSystem::WriteOnce(net::NodeId host, cache::ControllerId ctrl,
                 dedup_.Complete(wid, ok);
                 outcome(ok);
               },
-              priority, ctx);
+              priority, ctx, wid);
         },
         [this, ctrl, shared_cb, done] {
           --outstanding_[ctrl];
@@ -646,7 +649,7 @@ void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
           dedup_.Complete(wid, ok);
           outcome(ok);
         },
-        priority, ctx);
+        priority, ctx, wid);
   };
   if (qos_ != nullptr) {
     if (!qos_->Submit(via, ResolveTenant(vol, tenant), payload->size(),

@@ -1,0 +1,160 @@
+// Trace-shaped workload subsystem (E17): deterministic generators for the
+// four traffic shapes a national-lab shared pool actually sees, replayed
+// through the full host initiator stack so QoS, multipath, hedging, and
+// exactly-once writes all apply to every generated op.
+//
+// Shapes (paper §2's observed traffic, grown into seeded generators):
+//
+//   metadata storm      N processes each open ~thousands of small files in
+//                       near-identical order (python imports, shared-module
+//                       loads) — tiny header reads, open-dominated latency
+//   small-file ingest   many hosts append small records sequentially — the
+//                       back end wants large writes, the workload sends 4 KiB
+//   shared-lib broadcast a read-mostly hot set (Zipf) every host re-reads
+//   checkpoint burst    all hosts write large sequential checkpoints at
+//                       once, synchronized to within jitter
+//
+// A generator is a pure function (spec, seed) -> Trace; two calls with the
+// same arguments produce bit-identical op streams.  The Runner replays a
+// Trace closed-loop per host (one outstanding op per host, honoring each
+// op's earliest-issue time) and returns per-phase results, optionally
+// wiring phase metrics and a root span through obs.
+//
+// The open-burst countermeasure (batched multi-file prefetch) lives in
+// workload/openburst.h and is engaged per-host via RunnerConfig.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/initiator.h"
+#include "obs/hub.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/openburst.h"
+
+namespace nlss::workload {
+
+enum class Shape : std::uint8_t {
+  kMetadataStorm,
+  kSmallFileIngest,
+  kSharedLibBroadcast,
+  kCheckpointBurst,
+};
+const char* ShapeName(Shape shape);
+
+/// One op of a generated trace.  `at` is the earliest issue time relative
+/// to phase start; the per-host closed loop never reorders ops, so `at`
+/// shapes ramp-in (storm stagger, checkpoint synchronization) while the
+/// loop provides the natural think-time-free pacing.
+struct TraceOp {
+  enum class Kind : std::uint8_t { kOpen, kRead, kWrite };
+  sim::Tick at = 0;
+  std::uint32_t host = 0;
+  Kind kind = Kind::kRead;
+  std::uint32_t file = 0;
+  std::uint64_t offset = 0;  // within the file
+  std::uint32_t length = 0;
+};
+
+struct Trace {
+  Shape shape = Shape::kMetadataStorm;
+  FileSet files;
+  std::uint32_t hosts = 0;
+  std::vector<TraceOp> ops;  // grouped per host, issue order within a host
+};
+
+// --- Generators --------------------------------------------------------------
+
+/// Metadata storm: every host opens `opens_per_host` files in the shared
+/// file-set order (the same list every process loads), reading the first
+/// `read_bytes` of each.  Hosts ramp in `host_stagger_ns` apart.
+struct StormSpec {
+  FileSet files;
+  std::uint32_t hosts = 4;
+  std::uint32_t opens_per_host = 3000;
+  std::uint32_t read_bytes = 4 * 1024;
+  sim::Tick host_stagger_ns = 100 * util::kNsPerUs;
+  /// Inter-open pacing: a real process parses/executes between opens, so
+  /// the storm is an open-RATE problem, not a closed-loop saturation one.
+  sim::Tick open_gap_ns = 25 * util::kNsPerUs;
+};
+Trace MetadataStorm(const StormSpec& spec, std::uint64_t seed);
+
+/// Small-file ingest: the file set is partitioned across hosts; each host
+/// appends `write_bytes` records sequentially through its partition —
+/// exactly the small-write stream the flush coalescer exists to batch.
+struct IngestSpec {
+  FileSet files;
+  std::uint32_t hosts = 4;
+  std::uint32_t writes_per_host = 2000;
+  std::uint32_t write_bytes = 4 * 1024;
+  sim::Tick host_stagger_ns = 50 * util::kNsPerUs;
+};
+Trace SmallFileIngest(const IngestSpec& spec, std::uint64_t seed);
+
+/// Shared-library broadcast: every host draws `reads_per_host` whole-file
+/// reads from one Zipf-skewed hot set (rank r ~ 1/(r+1)^theta), so the
+/// popular files are popular on every host at once.
+struct BroadcastSpec {
+  FileSet files;
+  std::uint32_t hosts = 4;
+  std::uint32_t reads_per_host = 1000;
+  double zipf_theta = 0.9;
+  sim::Tick host_stagger_ns = 50 * util::kNsPerUs;
+};
+Trace SharedLibBroadcast(const BroadcastSpec& spec, std::uint64_t seed);
+
+/// Checkpoint burst: host h streams `files.file_bytes` of sequential
+/// `chunk_bytes` writes into its own file (file index == host), all hosts
+/// starting within `sync_jitter_ns` of phase start.
+struct BurstSpec {
+  FileSet files;  // count must equal hosts; file_bytes = checkpoint size
+  std::uint32_t hosts = 4;
+  std::uint32_t chunk_bytes = 1024 * 1024;
+  sim::Tick sync_jitter_ns = 20 * util::kNsPerUs;
+};
+Trace CheckpointBurst(const BurstSpec& spec, std::uint64_t seed);
+
+// --- Runner ------------------------------------------------------------------
+
+struct RunnerConfig {
+  /// Open-burst detector + batched multi-file prefetch (one per host).
+  OpenBurstConfig prefetch;
+  /// Tenant stamped on every op (kAutoTenant: resolve from the volume).
+  qos::TenantId tenant = qos::kAutoTenant;
+};
+
+struct PhaseResult {
+  std::uint64_t ops = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bytes = 0;
+  util::Histogram latency;       // every op
+  util::Histogram open_latency;  // kOpen ops only (the storm metric)
+  sim::Tick elapsed = 0;
+  OpenBurstPrefetcher::Stats prefetch;  // summed over hosts
+};
+
+/// Replays traces against a set of initiators.  Trace host h maps to
+/// initiator h % initiators.size().  Play() runs the engine to completion,
+/// so phases execute back to back deterministically.
+class Runner {
+ public:
+  Runner(sim::Engine& engine, std::vector<host::Initiator*> initiators,
+         controller::VolumeId vol, RunnerConfig config = {},
+         obs::Hub* hub = nullptr);
+
+  PhaseResult Play(const Trace& trace);
+
+ private:
+  sim::Engine& engine_;
+  std::vector<host::Initiator*> initiators_;
+  controller::VolumeId vol_;
+  RunnerConfig config_;
+  obs::Hub* hub_;
+};
+
+}  // namespace nlss::workload

@@ -1,0 +1,20 @@
+// Fixture: cache-entry replicated writes without a write id must be
+// flagged — the flush coalescer stamps frames with the representative
+// (writer, seq) it audits, so unattributed WriteWithReplication calls
+// would leave frames it cannot account for.
+// (Lint-only text — never compiled; Cache stands in for CacheCluster.)
+struct WriteId {
+  unsigned writer = 0;
+  unsigned long seq = 0;
+};
+
+void Bad(Cache& cache, int ctrl, int vol, long off, Bytes data, Cb cb) {
+  cache.WriteWithReplication(ctrl, vol, off, data, 2, cb, 0, ctx);  // line 12
+}
+
+void Good(Cache& cache, int ctrl, int vol, long off, Bytes data, Cb cb) {
+  WriteId wid{1, 7};
+  cache.WriteWithReplication(ctrl, vol, off, data, 2, cb, 0, ctx, wid);
+  cache.WriteWithReplication(ctrl, vol, off, data, 2, cb, 0, ctx,
+                             WriteId{1, 8});  // inline WriteId — clean
+}

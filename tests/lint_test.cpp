@@ -102,6 +102,15 @@ TEST(LintRules, BareWriteFixture) {
   EXPECT_EQ(got, want);  // Good() carries wid / an inline WriteId — clean
 }
 
+TEST(LintRules, BareCoalescedWriteFixture) {
+  // WriteWithReplication is a blade-entry write too: the flush coalescer
+  // audits the representative (writer, seq) stamped on each frame, so an
+  // unattributed call is a lint finding.
+  const auto got = LinesAndRules(LintFixture("bad_bare_coalesced_write.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {{12, "bare-write"}};
+  EXPECT_EQ(got, want);  // Good() variants carry wid / inline WriteId
+}
+
 TEST(LintAllowlist, SuppressesLineAndFileScopes) {
   // Has a wallclock use under a same/next-line allow, a rand use under
   // allow-file, and an unordered iteration with a trailing same-line allow.
@@ -166,7 +175,7 @@ TEST(LintTree, EveryRuleHasAFiringFixture) {
   for (const char* name :
        {"bad_wallclock.cpp", "bad_rand.cpp", "bad_rng_seed.cpp",
         "bad_unordered_iter.cpp", "bad_pointer_key.cpp",
-        "bad_bare_write.cpp"}) {
+        "bad_bare_write.cpp", "bad_bare_coalesced_write.cpp"}) {
     for (const Finding& f : LintFixture(name)) fired.insert(f.rule);
   }
   for (const std::string& rule : nlss::lint::RuleNames()) {

@@ -583,10 +583,14 @@ void RulePointerKey(const std::string& text, RuleSink& sink) {
 void RuleBareWrite(const std::string& text, RuleSink& sink) {
   // Every blade-entry write (BladeWrite / WriteVia) must carry a write id
   // so the blade-side dedup index keeps retried/hedged writes
-  // exactly-once.  Token-level: the argument list (or parameter list —
-  // declarations name their WriteId parameter, so they pass) must mention
-  // a WriteId/wid/write_id token.
-  static const char* kEntries[] = {"BladeWrite", "WriteVia"};
+  // exactly-once.  The same goes for the cache-entry replicated write
+  // (WriteWithReplication): the flush coalescer stamps each frame with its
+  // representative (writer, seq), so an unattributed call would leave
+  // frames the coalescer cannot audit.  Token-level: the argument list (or
+  // parameter list — declarations name their WriteId parameter, so they
+  // pass) must mention a WriteId/wid/write_id token.
+  static const char* kEntries[] = {"BladeWrite", "WriteVia",
+                                   "WriteWithReplication"};
   static const char* kIdTokens[] = {"WriteId", "wid", "write_id"};
   for (const char* fn : kEntries) {
     std::size_t pos = 0;
