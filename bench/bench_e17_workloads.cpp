@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "host/initiator.h"
+#include "meta/client.h"
 #include "obs/hub.h"
 #include "workload/workload.h"
 
@@ -52,7 +53,13 @@ struct Scale {
   std::uint32_t hosts = kDefHosts;
   std::uint32_t ops = 0;    // per-shape default applied at use
   std::uint32_t files = kDefFiles;
+  /// --shards: > 0 routes every storm open through the sharded metadata
+  /// service (that many shards) before the data read; 0 = data path only.
+  std::uint32_t shards = 0;
 };
+
+// Namespace layout when metadata is enabled: 16 files per directory.
+constexpr std::uint32_t kStormFilesPerDir = 16;
 
 controller::SystemConfig SysConfig(const char* name,
                                    std::uint32_t coalesce_pages) {
@@ -145,6 +152,8 @@ struct StormResult {
   double p99_open_us = 0;
   double elapsed_ms = 0;
   workload::OpenBurstPrefetcher::Stats prefetch;
+  std::uint64_t meta_resolves = 0;
+  double meta_hit_rate = 0;
   std::uint32_t digest = 0;
 };
 
@@ -152,18 +161,44 @@ StormResult RunStorm(std::uint64_t seed, const Scale& scale, bool prefetch) {
   workload::FileSet fs{0, scale.files, kSmallFileBytes};
   Bed bed("e17a", 1, scale.hosts, fs.TotalBytes(), seed, false);
 
+  // --shards > 0: every open first resolves its path through the sharded
+  // metadata service via a per-host dentry cache (declared before the
+  // clients so they unregister before the service dies).
+  std::unique_ptr<meta::MetaService> meta_service;
+  std::vector<std::unique_ptr<meta::Client>> meta_clients;
+  workload::RunnerConfig rc;
+  rc.prefetch.enabled = prefetch;
+  if (scale.shards > 0) {
+    meta::ServiceConfig mc;
+    mc.shards = scale.shards;
+    mc.blades = kControllers;
+    meta_service = std::make_unique<meta::MetaService>(bed.engine, mc);
+    meta_service->AttachObs(&bed.hub);
+    workload::PopulateMetaNamespace(*meta_service, fs, kStormFilesPerDir);
+    for (std::uint32_t h = 0; h < scale.hosts; ++h) {
+      meta_clients.push_back(std::make_unique<meta::Client>(
+          *meta_service, "mc" + std::to_string(h)));
+      bed.inits[h]->AttachMeta(meta_clients.back().get());
+    }
+    rc.meta_files_per_dir = kStormFilesPerDir;
+  }
+
   workload::StormSpec spec;
   spec.files = fs;
   spec.hosts = scale.hosts;
   spec.opens_per_host = scale.ops != 0 ? scale.ops : kDefStormOpens;
   const workload::Trace trace = workload::MetadataStorm(spec, seed);
 
-  workload::RunnerConfig rc;
-  rc.prefetch.enabled = prefetch;
   workload::Runner runner(bed.engine, bed.inits, bed.vol, rc, &bed.hub);
   const workload::PhaseResult r = runner.Play(trace);
 
   StormResult out;
+  out.meta_resolves = r.meta_resolves;
+  out.meta_hit_rate =
+      r.meta_resolves == 0
+          ? 0.0
+          : static_cast<double>(r.meta_hits) /
+                static_cast<double>(r.meta_resolves);
   out.opens = r.open_latency.count();
   out.mean_open_us = r.open_latency.Mean() / 1000.0;
   out.p99_open_us =
@@ -302,6 +337,7 @@ int main(int argc, char** argv) {
   scale.hosts = static_cast<std::uint32_t>(args.HostsOr(kDefHosts));
   scale.ops = static_cast<std::uint32_t>(args.ops);  // 0 = per-shape default
   scale.files = static_cast<std::uint32_t>(args.FilesOr(kDefFiles));
+  scale.shards = static_cast<std::uint32_t>(args.shards);  // 0 = no metadata
 
   PrintHeader("E17", "Trace-shaped workloads + countermeasures",
               "the pool's real traffic is storms, small files, broadcasts "
@@ -330,6 +366,13 @@ int main(int argc, char** argv) {
            " hosts x " +
            std::to_string(scale.ops != 0 ? scale.ops : kDefStormOpens) +
            " opens over " + std::to_string(scale.files) + " files):");
+  if (scale.shards > 0) {
+    std::printf("\nmetadata service: %u shards, %llu resolves, "
+                "dentry-cache hit rate %.1f%% (batched mode)\n",
+                scale.shards,
+                (unsigned long long)storm_batched.meta_resolves,
+                storm_batched.meta_hit_rate * 100.0);
+  }
   const double open_cut =
       storm_batched.mean_open_us == 0
           ? 0.0

@@ -25,6 +25,7 @@ namespace nlss::bench {
 ///   --hosts=<n>  scale knob: number of hosts/processes (0 = bench default)
 ///   --ops=<n>    scale knob: ops per host/stream (0 = bench default)
 ///   --files=<n>  scale knob: file-set size (0 = bench default)
+///   --shards=<n> scale knob: metadata shard count (0 = bench default)
 /// The scale knobs let CI run the trace-shaped workloads (E17) and the
 /// scaling sweeps (E1/E13) at a reduced size without editing the bench;
 /// each bench applies only the knobs that make sense for it.  Unknown
@@ -36,6 +37,7 @@ struct Args {
   std::uint64_t hosts = 0;
   std::uint64_t ops = 0;
   std::uint64_t files = 0;
+  std::uint64_t shards = 0;
 
   /// `hosts` if set, else the bench's built-in default (same for the rest).
   std::uint64_t HostsOr(std::uint64_t def) const {
@@ -44,6 +46,9 @@ struct Args {
   std::uint64_t OpsOr(std::uint64_t def) const { return ops != 0 ? ops : def; }
   std::uint64_t FilesOr(std::uint64_t def) const {
     return files != 0 ? files : def;
+  }
+  std::uint64_t ShardsOr(std::uint64_t def) const {
+    return shards != 0 ? shards : def;
   }
 
   static Args Parse(int argc, char** argv) {
@@ -70,10 +75,12 @@ struct Args {
         args.ops = parse_u64(arg, 6);
       } else if (arg.rfind("--files=", 0) == 0) {
         args.files = parse_u64(arg, 8);
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        args.shards = parse_u64(arg, 9);
       } else {
         std::fprintf(stderr,
                      "usage: %s [--seed=<n>] [--json] [--hosts=<n>] "
-                     "[--ops=<n>] [--files=<n>]\n",
+                     "[--ops=<n>] [--files=<n>] [--shards=<n>]\n",
                      argv[0]);
         std::exit(2);
       }

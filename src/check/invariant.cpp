@@ -19,6 +19,8 @@ const char* SubsystemName(Subsystem s) {
       return "host";
     case Subsystem::kRaid:
       return "raid";
+    case Subsystem::kMeta:
+      return "meta";
     case Subsystem::kOther:
       return "other";
   }

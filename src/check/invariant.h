@@ -44,9 +44,10 @@ enum class Subsystem : std::uint8_t {
   kQos,    // WFQ tag monotonicity, token-bucket balance bounds
   kHost,   // exactly-once completion, breaker transition legality
   kRaid,   // rebuild: no chunk rebuilt or re-queued after completion
+  kMeta,   // dentry coherence: no resolve served against a stale version
   kOther,  // uncategorized (tests, one-off checks)
 };
-inline constexpr int kSubsystemCount = 6;
+inline constexpr int kSubsystemCount = 7;
 const char* SubsystemName(Subsystem s);
 
 /// Context handed to the violation handler.

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/invariant.h"
+#include "meta/service.h"
 
 namespace nlss::controller {
 
@@ -664,11 +665,13 @@ void StorageSystem::BladeWrite(cache::ControllerId via, VolumeId vol,
 void StorageSystem::FailController(std::uint32_t i) {
   cache_->FailController(i);
   rebuild_->SetWorkerAlive(static_cast<int>(i), false);
+  if (meta_ != nullptr) meta_->OnBladeDown(i);
 }
 
 void StorageSystem::ReviveController(std::uint32_t i) {
   cache_->ReviveController(i);
   rebuild_->SetWorkerAlive(static_cast<int>(i), true);
+  if (meta_ != nullptr) meta_->OnBladeUp(i);
 }
 
 void StorageSystem::FailAndRebuildDisk(std::uint32_t g, std::uint32_t d,

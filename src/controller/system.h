@@ -32,6 +32,10 @@
 #include "virt/pool.h"
 #include "virt/volume.h"
 
+namespace nlss::meta {
+class MetaService;
+}  // namespace nlss::meta
+
 namespace nlss::controller {
 
 using VolumeId = std::uint32_t;
@@ -176,6 +180,13 @@ class StorageSystem {
   void AttachObs(obs::Hub* hub);
   obs::Hub* obs_hub() const { return hub_; }
 
+  // --- Metadata (sharded namespace service) ----------------------------------
+  /// Attach the sharded metadata service.  The controller owns the shard
+  /// map's blade placement: blade failure/revival notifications are
+  /// forwarded so shards remap off dead blades.  Pass nullptr to detach.
+  void AttachMeta(meta::MetaService* meta) { meta_ = meta; }
+  meta::MetaService* meta() const { return meta_; }
+
   // --- Failure / maintenance ------------------------------------------------------
   void FailController(std::uint32_t i);
   /// Sudden crash the cluster has not yet noticed (pair with a
@@ -246,6 +257,7 @@ class StorageSystem {
   std::uint32_t next_writer_id_ = 1;
   qos::Scheduler* qos_ = nullptr;
   obs::Hub* hub_ = nullptr;
+  meta::MetaService* meta_ = nullptr;
   // Hot-path instruments (owned by the hub's registry; null when detached).
   obs::Counter* reads_total_ = nullptr;
   obs::Counter* writes_total_ = nullptr;

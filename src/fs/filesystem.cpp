@@ -46,7 +46,7 @@ FileSystem::FileSystem(controller::StorageSystem& system, Config config)
   Inode root;
   root.ino = kRootIno;
   root.type = FileType::kDirectory;
-  inodes_[kRootIno] = root;
+  inodes_[kRootIno] = std::move(root);
 }
 
 std::vector<std::string> FileSystem::SplitPath(const std::string& path) {
@@ -75,15 +75,15 @@ FileSystem::Resolved FileSystem::Resolve(const std::string& path) {
   }
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     if (cur->type != FileType::kDirectory) return {};
-    auto it = cur->entries.find(parts[i]);
-    if (it == cur->entries.end()) return {};
-    cur = &inodes_[it->second];
+    const meta::Dentry* e = cur->entries.Find(parts[i]);
+    if (e == nullptr) return {};
+    cur = &inodes_[e->ino];
   }
   if (cur->type != FileType::kDirectory) return {};
   r.parent = cur;
   r.leaf = parts.back();
-  auto it = cur->entries.find(r.leaf);
-  r.node = it == cur->entries.end() ? nullptr : &inodes_[it->second];
+  const meta::Dentry* e = cur->entries.Find(r.leaf);
+  r.node = e == nullptr ? nullptr : &inodes_[e->ino];
   return r;
 }
 
@@ -99,8 +99,9 @@ Status FileSystem::Mkdir(const std::string& path) {
   Inode dir;
   dir.ino = next_ino_++;
   dir.type = FileType::kDirectory;
-  inodes_[dir.ino] = dir;
-  r.parent->entries[r.leaf] = dir.ino;
+  const InodeNum ino = dir.ino;
+  inodes_[ino] = std::move(dir);
+  r.parent->entries.Insert(r.leaf, meta::Dentry{ino, true});
   return Status::kOk;
 }
 
@@ -113,8 +114,9 @@ Status FileSystem::Create(const std::string& path, const FilePolicy& policy) {
   file.ino = next_ino_++;
   file.type = FileType::kFile;
   file.policy = policy;
-  inodes_[file.ino] = file;
-  r.parent->entries[r.leaf] = file.ino;
+  const InodeNum ino = file.ino;
+  inodes_[ino] = std::move(file);
+  r.parent->entries.Insert(r.leaf, meta::Dentry{ino, false});
   return Status::kOk;
 }
 
@@ -125,7 +127,7 @@ Status FileSystem::Unlink(const std::string& path) {
   // Release the file's chunks (physical space returns to the pool).
   for (const std::uint64_t chunk : r.node->chunks) FreeChunk(chunk);
   const InodeNum ino = r.node->ino;
-  r.parent->entries.erase(r.leaf);
+  r.parent->entries.Erase(r.leaf);
   inodes_.erase(ino);
   return Status::kOk;
 }
@@ -136,7 +138,7 @@ Status FileSystem::Rmdir(const std::string& path) {
   if (r.node->type != FileType::kDirectory) return Status::kNotDirectory;
   if (!r.node->entries.empty()) return Status::kNotEmpty;
   const InodeNum ino = r.node->ino;
-  r.parent->entries.erase(r.leaf);
+  r.parent->entries.Erase(r.leaf);
   inodes_.erase(ino);
   return Status::kOk;
 }
@@ -149,9 +151,10 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
   if (dst.node != nullptr) return Status::kExists;
   if (dst.leaf.empty()) return Status::kInvalidArgument;
   const InodeNum ino = src.node->ino;
+  const bool is_dir = src.node->type == FileType::kDirectory;
   // Note: Resolve() returned stable pointers into inodes_ (std::map).
-  src.parent->entries.erase(src.leaf);
-  dst.parent->entries[dst.leaf] = ino;
+  src.parent->entries.Erase(src.leaf);
+  dst.parent->entries.Insert(dst.leaf, meta::Dentry{ino, is_dir});
   return Status::kOk;
 }
 
@@ -168,7 +171,10 @@ std::vector<std::string> FileSystem::List(const std::string& path) const {
   std::vector<std::string> out;
   if (dir == nullptr || dir->type != FileType::kDirectory) return out;
   out.reserve(dir->entries.size());
-  for (const auto& [name, ino] : dir->entries) out.push_back(name);
+  dir->entries.ForEach(
+      [&out](const std::string& name, const meta::Dentry&) {
+        out.push_back(name);
+      });
   return out;
 }
 
@@ -412,10 +418,13 @@ util::Bytes FileSystem::SerializeMetadata() const {
     w.U64(node.chunks.size());
     for (const auto c : node.chunks) w.U64(c);
     w.U64(node.entries.size());
-    for (const auto& [name, child] : node.entries) {
-      w.Str(name);
-      w.U64(child);
-    }
+    // ForEach visits lexicographically — byte-identical to the old
+    // std::map iteration, so existing checkpoints stay compatible.
+    node.entries.ForEach(
+        [&w](const std::string& name, const meta::Dentry& d) {
+          w.Str(name);
+          w.U64(d.ino);
+        });
   }
   w.U64(free_chunks_.size());
   for (const auto c : free_chunks_) w.U64(c);
@@ -452,7 +461,10 @@ Status FileSystem::LoadMetadata(std::span<const std::uint8_t> blob) {
       const std::uint64_t nentries = r.U64();
       for (std::uint64_t e = 0; e < nentries; ++e) {
         const std::string name = r.Str();
-        node.entries[name] = r.U64();
+        const InodeNum child = r.U64();
+        // Child types are unknown until every inode is loaded; is_dir is
+        // fixed up below.
+        node.entries.Insert(name, meta::Dentry{child, false});
       }
       inodes[node.ino] = std::move(node);
     }
@@ -460,6 +472,21 @@ Status FileSystem::LoadMetadata(std::span<const std::uint8_t> blob) {
     const std::uint64_t nfree = r.U64();
     for (std::uint64_t i = 0; i < nfree; ++i) free_chunks.push_back(r.U64());
     if (inodes.find(kRootIno) == inodes.end()) return Status::kInvalidArgument;
+    for (auto& [ino, node] : inodes) {
+      if (node.type != FileType::kDirectory) continue;
+      std::vector<std::pair<std::string, InodeNum>> kids;
+      node.entries.ForEach(
+          [&kids](const std::string& name, const meta::Dentry& d) {
+            kids.emplace_back(name, d.ino);
+          });
+      for (const auto& [name, child] : kids) {
+        const auto cit = inodes.find(child);
+        if (cit != inodes.end() &&
+            cit->second.type == FileType::kDirectory) {
+          node.entries.FindMutable(name)->is_dir = true;
+        }
+      }
+    }
     inodes_ = std::move(inodes);
     free_chunks_ = std::move(free_chunks);
     return Status::kOk;
@@ -487,15 +514,15 @@ std::uint64_t FileSystem::AllocatedChunks() const {
 void FileSystem::WalkFiles(
     const Inode& dir, const std::string& prefix,
     const std::function<void(const std::string&, const Inode&)>& fn) const {
-  for (const auto& [name, ino] : dir.entries) {
-    const Inode& node = inodes_.at(ino);
+  dir.entries.ForEach([&](const std::string& name, const meta::Dentry& d) {
+    const Inode& node = inodes_.at(d.ino);
     const std::string path = prefix + "/" + name;
     if (node.type == FileType::kFile) {
       fn(path, node);
     } else {
       WalkFiles(node, path, fn);
     }
-  }
+  });
 }
 
 void FileSystem::ForEachFile(

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "controller/system.h"
+#include "meta/btree.h"
 #include "qos/tenant.h"
 #include "raid/layout.h"
 #include "util/bytes.h"
@@ -65,8 +66,11 @@ struct Inode {
   FileType type = FileType::kFile;
   std::uint64_t size = 0;
   FilePolicy policy;
-  std::vector<std::uint64_t> chunks;           // volume chunk indices
-  std::map<std::string, InodeNum> entries;     // directories only
+  std::vector<std::uint64_t> chunks;  // volume chunk indices
+  /// Directories only: ordered B-tree dentry index (lexicographic listing,
+  /// range scans).  The is_dir flag in each dentry is advisory here — the
+  /// inode table stays authoritative for types.
+  meta::DentryIndex entries;
 };
 
 class FileSystem {

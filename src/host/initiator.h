@@ -45,6 +45,10 @@
 #include "host/retry.h"
 #include "obs/hub.h"
 
+namespace nlss::meta {
+class Client;
+}  // namespace nlss::meta
+
 namespace nlss::host {
 
 struct InitiatorConfig {
@@ -128,6 +132,13 @@ class Initiator {
   /// Register host metrics (labelled by host/path) and start tracing ops
   /// as kHost root spans.  Pass nullptr to detach.
   void AttachObs(obs::Hub* hub);
+
+  /// Attach this host's dentry/path-resolution cache (a meta::Client
+  /// registered with the sharded metadata service).  Namespace resolves
+  /// issued by workloads on this host go through it; the service pushes
+  /// coherence invalidations back.  Pass nullptr to detach.
+  void AttachMeta(meta::Client* meta) { meta_ = meta; }
+  meta::Client* meta() const { return meta_; }
 
   void Read(controller::VolumeId vol, std::uint64_t offset,
             std::uint32_t length, ReadCallback cb, std::uint8_t priority = 0,
@@ -231,6 +242,7 @@ class Initiator {
   mutable std::uint32_t rr_next_ = 0;
   bool running_ = false;
   obs::Hub* hub_ = nullptr;
+  meta::Client* meta_ = nullptr;
   util::Histogram* read_latency_ns_ = nullptr;
   util::Histogram* write_latency_ns_ = nullptr;
 };

@@ -1,0 +1,201 @@
+#include "meta/client.h"
+
+#include "check/invariant.h"
+
+namespace nlss::meta {
+
+namespace {
+std::string JoinPath(const std::vector<std::string>& parts, std::size_t n) {
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+}  // namespace
+
+Client::Client(MetaService& service, std::string name, ClientConfig config)
+    : service_(service), name_(std::move(name)), config_(config) {
+  service_.RegisterClient(this);
+}
+
+Client::~Client() { service_.UnregisterClient(this); }
+
+void Client::Resolve(const std::string& path, MetaService::ResolveCallback cb,
+                     obs::TraceContext ctx) {
+  ++stats_.resolves;
+  // Workloads usually resolve through the cache with no trace of their
+  // own; start a kMeta root here so cached hits and client-driven walks
+  // both land in per-layer breakdowns.
+  if (!ctx.sampled()) {
+    if (obs::Hub* hub = service_.hub(); hub != nullptr) {
+      ctx = hub->tracer().StartTrace(obs::Layer::kMeta, "meta.client.resolve");
+      if (ctx.sampled()) {
+        cb = [cb = std::move(cb), ctx](Status st, Dentry d) {
+          ctx.tracer->EndTrace(ctx, st == Status::kOk);
+          cb(st, d);
+        };
+      }
+    }
+  }
+  auto parts = std::make_shared<std::vector<std::string>>(
+      MetaService::SplitPath(path));
+  if (parts->empty()) {
+    // The root needs no walk; serve it like a local hit.
+    ++stats_.full_hits;
+    service_.engine().Schedule(config_.local_hit_ns, [cb = std::move(cb)]() {
+      cb(Status::kOk, Dentry{kRootDir, true});
+    });
+    return;
+  }
+  if (config_.capacity == 0) {
+    ++stats_.misses;
+    service_.Resolve(path, std::move(cb), ctx);
+    return;
+  }
+  const std::string key = JoinPath(*parts, parts->size());
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    BeginWalk(parts, std::move(cb), ctx);
+    return;
+  }
+  ++stats_.full_hits;
+  TouchLru(key, it->second);
+  // The hit is *served* local_hit_ns from now; a mutation can land in the
+  // window, so re-validate at fire time and fall back to a walk if the
+  // entry was invalidated under us — never serve the stale copy.
+  service_.engine().Schedule(
+      config_.local_hit_ns,
+      [this, key, parts, cb = std::move(cb), ctx]() {
+        const auto it2 = cache_.find(key);
+        if (it2 == cache_.end()) {
+          ++stats_.revalidation_fallbacks;
+          BeginWalk(parts, cb, ctx);
+          return;
+        }
+        for (const auto& [dir, ver] : it2->second.chain) {
+          const std::uint64_t now_ver = service_.DirVersion(dir);
+          NLSS_INVARIANT(kMeta, now_ver == ver,
+                         "stale dentry served for %s: dir %llu at v%llu, "
+                         "cached v%llu",
+                         key.c_str(), static_cast<unsigned long long>(dir),
+                         static_cast<unsigned long long>(now_ver),
+                         static_cast<unsigned long long>(ver));
+          (void)now_ver;
+          (void)ver;
+        }
+        cb(Status::kOk, it2->second.dentry);
+      });
+}
+
+void Client::BeginWalk(std::shared_ptr<std::vector<std::string>> parts,
+                       MetaService::ResolveCallback cb,
+                       obs::TraceContext ctx) {
+  std::size_t start = 0;
+  DirId dir = kRootDir;
+  auto chain = std::make_shared<
+      std::vector<std::pair<DirId, std::uint64_t>>>();
+  for (std::size_t n = parts->size() - 1; n >= 1; --n) {
+    const std::string prefix = JoinPath(*parts, n);
+    const auto it = cache_.find(prefix);
+    if (it != cache_.end() && it->second.dentry.is_dir) {
+      start = n;
+      dir = it->second.dentry.ino;
+      *chain = it->second.chain;  // ancestor's chain prefixes ours
+      TouchLru(prefix, it->second);
+      break;
+    }
+  }
+  if (start > 0) {
+    ++stats_.partial_hits;
+  } else {
+    ++stats_.misses;
+  }
+  WalkFrom(parts, start, dir, chain, std::move(cb), ctx);
+}
+
+void Client::WalkFrom(
+    std::shared_ptr<std::vector<std::string>> parts, std::size_t next,
+    DirId dir,
+    std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>> chain,
+    MetaService::ResolveCallback cb, obs::TraceContext ctx) {
+  ++stats_.steps;
+  service_.LookupStep(
+      dir, (*parts)[next],
+      [this, parts, next, dir, chain, cb = std::move(cb), ctx](
+          Status st, Dentry d, std::uint64_t ver) {
+        if (st != Status::kOk) {
+          cb(st, {});
+          return;
+        }
+        chain->emplace_back(dir, ver);
+        Entry e;
+        e.dentry = d;
+        e.chain = *chain;
+        InsertEntry(JoinPath(*parts, next + 1), std::move(e));
+        if (next + 1 == parts->size()) {
+          cb(Status::kOk, d);
+          return;
+        }
+        if (!d.is_dir) {
+          cb(Status::kNotDirectory, {});
+          return;
+        }
+        WalkFrom(parts, next + 1, d.ino, chain, cb, ctx);
+      },
+      ctx);
+}
+
+void Client::InsertEntry(const std::string& path, Entry entry) {
+  if (config_.capacity == 0) return;
+  // A walk overlapping a mutation can deliver a result whose prefix went
+  // stale before the reply landed; the result itself is a legal lookup
+  // race, but caching it would be exactly the stale positive coherence
+  // forbids.  Only cache chains that are still current.
+  for (const auto& [dir, ver] : entry.chain) {
+    if (service_.DirVersion(dir) != ver) return;
+  }
+  RemoveEntry(path, nullptr);
+  entry.lru = ++lru_clock_;
+  lru_order_[entry.lru] = path;
+  for (const auto& [dir, ver] : entry.chain) by_dir_[dir].insert(path);
+  cache_.emplace(path, std::move(entry));
+  while (cache_.size() > config_.capacity) {
+    const std::string victim = lru_order_.begin()->second;
+    RemoveEntry(victim, &stats_.evictions);
+  }
+}
+
+void Client::RemoveEntry(const std::string& path, std::uint64_t* counter) {
+  const auto it = cache_.find(path);
+  if (it == cache_.end()) return;
+  for (const auto& [dir, ver] : it->second.chain) {
+    const auto b = by_dir_.find(dir);
+    if (b != by_dir_.end()) {
+      b->second.erase(path);
+      if (b->second.empty()) by_dir_.erase(b);
+    }
+  }
+  lru_order_.erase(it->second.lru);
+  cache_.erase(it);
+  if (counter != nullptr) ++(*counter);
+}
+
+void Client::TouchLru(const std::string& path, Entry& entry) {
+  lru_order_.erase(entry.lru);
+  entry.lru = ++lru_clock_;
+  lru_order_[entry.lru] = path;
+}
+
+void Client::OnDirectoryInvalidate(DirId dir, std::uint64_t /*version*/) {
+  ++stats_.invalidations;
+  const auto it = by_dir_.find(dir);
+  if (it == by_dir_.end()) return;
+  const std::vector<std::string> paths(it->second.begin(), it->second.end());
+  for (const std::string& p : paths) {
+    RemoveEntry(p, &stats_.dropped_entries);
+  }
+}
+
+}  // namespace nlss::meta

@@ -1,0 +1,120 @@
+// Host-side dentry / path-resolution cache with version-stamped coherence.
+//
+// Each host::Initiator owns one Client.  A resolve first consults the
+// local cache: a full-path hit is served after `local_hit_ns` (no shard
+// visit at all — this is what lets a 32-host storm keep hammering "/dN"
+// components without serializing on the root directory's shard); a miss
+// walks from the deepest cached ancestor, one MetaService::LookupStep per
+// remaining component, caching every component it learns.
+//
+// Coherence: a cached path records the full chain of (directory, version)
+// pairs its resolution read through — not just the leaf's parent — because
+// renaming a directory invalidates every path beneath it, and those deeper
+// paths never touched the renamed entry's own parent twice.  Mutations
+// push OnDirectoryInvalidate(dir, version) synchronously at apply time,
+// dropping every cached path whose chain includes `dir`.  Because a cache
+// hit is *scheduled* (served local_hit_ns later), a mutation can land
+// between hit and serve — so the entry is re-validated when the hit timer
+// fires and falls back to a fresh walk if it was dropped in the window.
+// Net effect: no stale positive entry is ever served, cross-checked by an
+// NLSS_INVARIANT(kMeta, ...) against the authoritative directory versions
+// on every served hit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "meta/service.h"
+
+namespace nlss::meta {
+
+struct ClientConfig {
+  /// Max cached entries (deterministic LRU eviction).  0 disables the
+  /// cache entirely: every resolve walks the service from the root.
+  std::size_t capacity = 4096;
+  /// Service time of a full-path cache hit (host-local lookup).
+  sim::Tick local_hit_ns = 400;
+};
+
+struct ClientStats {
+  std::uint64_t resolves = 0;
+  std::uint64_t full_hits = 0;     // whole path served from cache
+  std::uint64_t partial_hits = 0;  // walk started from a cached ancestor
+  std::uint64_t misses = 0;        // walk started from the root
+  std::uint64_t steps = 0;         // LookupSteps issued to the service
+  std::uint64_t invalidations = 0;     // OnDirectoryInvalidate deliveries
+  std::uint64_t dropped_entries = 0;   // entries removed by invalidation
+  std::uint64_t evictions = 0;         // entries removed by LRU pressure
+  /// Hits that lost the hit-to-serve race against a mutation and fell
+  /// back to a service walk (counted in addition to the full_hit).
+  std::uint64_t revalidation_fallbacks = 0;
+};
+
+class Client {
+ public:
+  Client(MetaService& service, std::string name, ClientConfig config = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Resolve `path` to its dentry, through the cache.
+  void Resolve(const std::string& path, MetaService::ResolveCallback cb,
+               obs::TraceContext ctx = {});
+
+  /// Coherence push from the service: `dir`'s contents changed (its
+  /// version is now `version`; 0 = directory removed).  Drops every
+  /// cached path whose resolution read through `dir`.
+  void OnDirectoryInvalidate(DirId dir, std::uint64_t version);
+
+  const std::string& name() const { return name_; }
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+  std::size_t cached_entries() const { return cache_.size(); }
+  /// Fraction of resolves served entirely from cache.
+  double HitRate() const {
+    return stats_.resolves == 0
+               ? 0.0
+               : static_cast<double>(stats_.full_hits) /
+                     static_cast<double>(stats_.resolves);
+  }
+
+ private:
+  struct Entry {
+    Dentry dentry;
+    /// Every (directory, version) the resolution read through, root-first;
+    /// chain.back().first is the leaf's parent directory.
+    std::vector<std::pair<DirId, std::uint64_t>> chain;
+    std::uint64_t lru = 0;  // last-touch stamp (deterministic)
+  };
+
+  /// Start a service walk: from the deepest cached ancestor when one
+  /// exists, from the root otherwise.
+  void BeginWalk(std::shared_ptr<std::vector<std::string>> parts,
+                 MetaService::ResolveCallback cb, obs::TraceContext ctx);
+  /// Walk components [next, end) from `dir`, prefix = cached chain so far.
+  void WalkFrom(std::shared_ptr<std::vector<std::string>> parts,
+                std::size_t next, DirId dir,
+                std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>>
+                    chain,
+                MetaService::ResolveCallback cb, obs::TraceContext ctx);
+  void InsertEntry(const std::string& path, Entry entry);
+  void RemoveEntry(const std::string& path, std::uint64_t* counter);
+  void TouchLru(const std::string& path, Entry& entry);
+
+  MetaService& service_;
+  std::string name_;
+  ClientConfig config_;
+  std::map<std::string, Entry> cache_;             // normalized path -> entry
+  std::map<DirId, std::set<std::string>> by_dir_;  // chain dir -> paths
+  std::map<std::uint64_t, std::string> lru_order_;  // stamp -> path
+  std::uint64_t lru_clock_ = 0;
+  ClientStats stats_;
+};
+
+}  // namespace nlss::meta

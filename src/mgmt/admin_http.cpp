@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "meta/client.h"
 #include "mgmt/json.h"
 
 namespace nlss::mgmt {
@@ -112,6 +113,10 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
     w.EndArray();
     return Json(200, w.str());
   }
+  if (path == "/meta") {
+    if (meta_ == nullptr) return Json(404, "{\"error\":\"no meta service\"}");
+    return MetaReport();
+  }
   if (path == "/metrics") {
     if (hub_ == nullptr) return Json(404, "{\"error\":\"no obs hub\"}");
     // Prometheus text exposition format, not JSON.
@@ -215,6 +220,58 @@ proto::HttpResponse AdminHttp::QosSetWeight(const std::string& query) {
   w.Field("ok", true);
   w.Field("class", cls_it->second);
   w.Field("weight", static_cast<std::uint64_t>(weight));
+  w.EndObject();
+  return Json(200, w.str());
+}
+
+proto::HttpResponse AdminHttp::MetaReport() const {
+  const meta::ServiceStats& s = meta_->stats();
+  const std::uint64_t cache_resolves = meta_->SumClientStat(
+      [](const meta::Client& c) { return c.stats().resolves; });
+  const std::uint64_t cache_hits = meta_->SumClientStat(
+      [](const meta::Client& c) { return c.stats().full_hits; });
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("map_epoch", meta_->map_epoch());
+  w.Field("resolves", s.resolves);
+  w.Field("lookup_steps", s.lookup_steps);
+  w.Field("mutations", s.mutations);
+  w.Field("scans", s.scans);
+  w.Field("invalidations", s.invalidations);
+  w.Field("qos_rejects", s.qos_rejects);
+  w.Field("remaps", s.remaps);
+  w.Field("moved_dirs", s.moved_dirs);
+  w.Key("shards").BeginArray();
+  for (meta::ShardId sh = 0; sh < meta_->shard_count(); ++sh) {
+    const meta::MetaShard& shard = meta_->shard(sh);
+    w.BeginObject();
+    w.Field("id", static_cast<std::uint64_t>(sh));
+    w.Field("blade", static_cast<std::uint64_t>(meta_->BladeOf(sh)));
+    w.Field("dirs", static_cast<std::uint64_t>(shard.dir_count()));
+    w.Field("lookups", shard.stats().lookups);
+    w.Field("mutations", shard.stats().mutations);
+    w.Field("scans", shard.stats().scans);
+    w.Field("busy_ns", shard.stats().busy_ns);
+    w.Field("queue_ns", shard.stats().queue_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("dentry_cache").BeginObject();
+  w.Field("clients", static_cast<std::uint64_t>(meta_->client_count()));
+  w.Field("resolves", cache_resolves);
+  w.Field("hits", cache_hits);
+  w.Field("hit_rate", cache_resolves == 0
+                          ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(cache_resolves));
+  w.Field("invalidations_applied",
+          meta_->SumClientStat([](const meta::Client& c) {
+            return c.stats().invalidations;
+          }));
+  w.Field("dropped_entries", meta_->SumClientStat([](const meta::Client& c) {
+            return c.stats().dropped_entries;
+          }));
+  w.EndObject();
   w.EndObject();
   return Json(200, w.str());
 }

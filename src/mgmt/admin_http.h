@@ -11,6 +11,9 @@
 //   GET /qos             per-tenant SLO snapshot + class specs (attached)
 //   GET /qos/weight?class=<gold|silver|bronze>&weight=<n>
 //                        runtime WFQ weight reconfiguration
+//   GET /meta            sharded metadata service: shard map (per-shard
+//                        blade, directory + op counts, busy/queue time),
+//                        service stats, host dentry-cache hit rate
 //   GET /metrics         Prometheus text exposition (obs hub attached)
 //   GET /traces?tenant=<t>&name=<substr>&min_us=<n>&view=<slowest|recent>
 //                        retained traces with per-layer breakdowns:
@@ -24,6 +27,7 @@
 
 #include "controller/system.h"
 #include "geo/geo.h"
+#include "meta/service.h"
 #include "mgmt/manager.h"
 #include "proto/http_server.h"
 #include "qos/scheduler.h"
@@ -41,6 +45,7 @@ class AdminHttp {
   void AttachGeo(geo::GeoCluster* geo) { geo_ = geo; }
   void AttachQos(qos::Scheduler* qos) { qos_ = qos; }
   void AttachObs(obs::Hub* hub) { hub_ = hub; }
+  void AttachMeta(meta::MetaService* meta) { meta_ = meta; }
 
   /// Handle "GET <path> HTTP/1.0" with an auth token header line
   /// "Authorization: <token>".  Admin role required.
@@ -52,6 +57,7 @@ class AdminHttp {
   proto::HttpResponse QosReport() const;
   proto::HttpResponse QosSetWeight(const std::string& query);
   proto::HttpResponse Traces(const std::string& query) const;
+  proto::HttpResponse MetaReport() const;
 
   controller::StorageSystem& system_;
   security::AuthService& auth_;
@@ -60,6 +66,7 @@ class AdminHttp {
   geo::GeoCluster* geo_ = nullptr;
   qos::Scheduler* qos_ = nullptr;
   obs::Hub* hub_ = nullptr;
+  meta::MetaService* meta_ = nullptr;
 };
 
 }  // namespace nlss::mgmt

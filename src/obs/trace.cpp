@@ -34,6 +34,8 @@ const char* LayerName(Layer layer) {
       return "disk";
     case Layer::kGeo:
       return "geo";
+    case Layer::kMeta:
+      return "meta";
     case Layer::kOther:
       return "other";
   }

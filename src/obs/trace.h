@@ -40,9 +40,10 @@ enum class Layer : std::uint8_t {
   kRaid,        // RAID group stripe operations
   kDisk,        // disk mechanics
   kGeo,         // cross-site replication hops
+  kMeta,        // sharded metadata service (namespace ops, dentry cache)
   kOther,
 };
-inline constexpr int kLayerCount = 10;
+inline constexpr int kLayerCount = 11;
 const char* LayerName(Layer layer);
 
 class Tracer;
@@ -87,7 +88,7 @@ struct Breakdown {
   sim::Tick service() const {
     return of(Layer::kHost) + of(Layer::kProto) + of(Layer::kController) +
            of(Layer::kCache) + of(Layer::kRaid) + of(Layer::kGeo) +
-           of(Layer::kOther);
+           of(Layer::kMeta) + of(Layer::kOther);
   }
   sim::Tick SelfSum() const {
     sim::Tick s = 0;

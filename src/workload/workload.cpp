@@ -43,9 +43,12 @@ Trace MetadataStorm(const StormSpec& spec, std::uint64_t seed) {
       op.at = start + static_cast<sim::Tick>(i) * spec.open_gap_ns;
       op.host = h;
       op.kind = TraceOp::Kind::kOpen;
-      // Every process loads the same file list in the same order (the
-      // python-import / shared-module pattern the storm models).
-      op.file = i % spec.files.count;
+      // Shared order (every process loads the same file list — the
+      // python-import pattern) unless partitioned (each host works its own
+      // slice — the per-job-scratch pattern).
+      op.file = spec.partition_files
+                    ? (h * spec.opens_per_host + i) % spec.files.count
+                    : i % spec.files.count;
       op.offset = 0;
       op.length = std::min(spec.read_bytes, spec.files.file_bytes);
       trace.ops.push_back(op);
@@ -149,6 +152,27 @@ Trace CheckpointBurst(const BurstSpec& spec, std::uint64_t seed) {
   return trace;
 }
 
+// --- Metadata namespace ------------------------------------------------------
+
+std::string MetaPathOf(std::uint32_t file, std::uint32_t files_per_dir) {
+  if (files_per_dir == 0) files_per_dir = 1;
+  return "/d" + std::to_string(file / files_per_dir) + "/f" +
+         std::to_string(file);
+}
+
+void PopulateMetaNamespace(meta::MetaService& service, const FileSet& files,
+                           std::uint32_t files_per_dir) {
+  if (files_per_dir == 0) files_per_dir = 1;
+  const std::uint32_t dirs =
+      (files.count + files_per_dir - 1) / files_per_dir;
+  for (std::uint32_t d = 0; d < dirs; ++d) {
+    service.BootstrapMkdir("/d" + std::to_string(d));
+  }
+  for (std::uint32_t f = 0; f < files.count; ++f) {
+    service.BootstrapCreate(MetaPathOf(f, files_per_dir));
+  }
+}
+
 // --- Runner ------------------------------------------------------------------
 
 Runner::Runner(sim::Engine& engine, std::vector<host::Initiator*> initiators,
@@ -189,6 +213,25 @@ PhaseResult Runner::Play(const Trace& trace) {
         "Opens served from the batched-prefetch staging buffer", labels);
   }
 
+  // Distinct dentry-cache clients behind the initiator fleet (several
+  // trace hosts can share one initiator); snapshot their stats so the
+  // phase reports deltas.
+  std::vector<meta::Client*> meta_clients;
+  for (host::Initiator* init : initiators_) {
+    meta::Client* c = init->meta();
+    if (c == nullptr) continue;
+    if (std::find(meta_clients.begin(), meta_clients.end(), c) ==
+        meta_clients.end()) {
+      meta_clients.push_back(c);
+    }
+  }
+  std::uint64_t meta_resolves0 = 0, meta_hits0 = 0, meta_fallbacks0 = 0;
+  for (const meta::Client* c : meta_clients) {
+    meta_resolves0 += c->stats().resolves;
+    meta_hits0 += c->stats().full_hits;
+    meta_fallbacks0 += c->stats().revalidation_fallbacks;
+  }
+
   // One prefetcher per trace host when the countermeasure is on.
   std::vector<std::unique_ptr<OpenBurstPrefetcher>> prefetchers;
   if (config_.prefetch.enabled) {
@@ -227,8 +270,34 @@ PhaseResult Runner::Play(const Trace& trace) {
       };
       switch (op->kind) {
         case TraceOp::Kind::kOpen:
-          if (config_.prefetch.enabled) {
+          if (config_.meta_files_per_dir > 0 && init.meta() != nullptr) {
+            // Open = namespace resolve through the host dentry cache,
+            // then the data read (none when the op carries no bytes).
+            init.meta()->Resolve(
+                MetaPathOf(op->file, config_.meta_files_per_dir),
+                [&, h, op, init_ptr = &init, done = std::move(done)](
+                    meta::Status st, meta::Dentry) {
+                  if (st != meta::Status::kOk) {
+                    done(false);
+                    return;
+                  }
+                  if (op->length == 0) {
+                    done(true);
+                    return;
+                  }
+                  if (config_.prefetch.enabled) {
+                    prefetchers[h]->Open(op->file, op->length, done);
+                    return;
+                  }
+                  init_ptr->Read(vol_, trace.files.OffsetOf(op->file),
+                                 op->length,
+                                 [done](bool ok, util::Bytes) { done(ok); },
+                                 /*priority=*/0, config_.tenant);
+                });
+          } else if (config_.prefetch.enabled) {
             prefetchers[h]->Open(op->file, op->length, std::move(done));
+          } else if (op->length == 0) {
+            engine_.Schedule(0, [done = std::move(done)]() { done(true); });
           } else {
             init.Read(vol_, trace.files.OffsetOf(op->file), op->length,
                       [done = std::move(done)](bool ok, util::Bytes) {
@@ -265,6 +334,14 @@ PhaseResult Runner::Play(const Trace& trace) {
 
   result.elapsed = engine_.now() - phase_start;
   for (const auto& pf : prefetchers) result.prefetch.Add(pf->stats());
+  for (const meta::Client* c : meta_clients) {
+    result.meta_resolves += c->stats().resolves;
+    result.meta_hits += c->stats().full_hits;
+    result.meta_fallbacks += c->stats().revalidation_fallbacks;
+  }
+  result.meta_resolves -= meta_resolves0;
+  result.meta_hits -= meta_hits0;
+  result.meta_fallbacks -= meta_fallbacks0;
   if (hub_ != nullptr) {
     if (ops_counter != nullptr) ops_counter->Increment(result.ops);
     if (bytes_counter != nullptr) bytes_counter->Increment(result.bytes);

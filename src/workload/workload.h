@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "host/initiator.h"
+#include "meta/client.h"
 #include "obs/hub.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -80,6 +81,11 @@ struct StormSpec {
   /// Inter-open pacing: a real process parses/executes between opens, so
   /// the storm is an open-RATE problem, not a closed-loop saturation one.
   sim::Tick open_gap_ns = 25 * util::kNsPerUs;
+  /// false (default): every host opens the same files in the same order —
+  /// the python-import pattern, a dentry cache's best case.  true: host h
+  /// opens its own slice of the file set — the per-job-scratch pattern,
+  /// all cold lookups, which is what exercises metadata-shard scaling.
+  bool partition_files = false;
 };
 Trace MetadataStorm(const StormSpec& spec, std::uint64_t seed);
 
@@ -125,6 +131,12 @@ struct RunnerConfig {
   OpenBurstConfig prefetch;
   /// Tenant stamped on every op (kAutoTenant: resolve from the volume).
   qos::TenantId tenant = qos::kAutoTenant;
+  /// When > 0 and the op's initiator has a meta::Client attached, every
+  /// kOpen first resolves the file's namespace path (contiguous runs of
+  /// `meta_files_per_dir` files share a directory — see MetaPathOf)
+  /// through the host dentry cache before issuing the data read.  An op
+  /// length of 0 makes the open a pure metadata operation.
+  std::uint32_t meta_files_per_dir = 0;
 };
 
 struct PhaseResult {
@@ -136,7 +148,25 @@ struct PhaseResult {
   util::Histogram open_latency;  // kOpen ops only (the storm metric)
   sim::Tick elapsed = 0;
   OpenBurstPrefetcher::Stats prefetch;  // summed over hosts
+  // Host dentry-cache deltas over this phase (summed across the distinct
+  // meta::Clients behind the initiators; zero when meta is not wired).
+  std::uint64_t meta_resolves = 0;
+  std::uint64_t meta_hits = 0;       // full-path cache hits
+  std::uint64_t meta_fallbacks = 0;  // hit-to-serve races re-walked
 };
+
+/// Canonical namespace path of a trace file: contiguous runs of
+/// `files_per_dir` files share a directory, "/d<file / files_per_dir>/
+/// f<file>" — the per-job layout real scratch trees have, so a host
+/// working its own slice of the file set stays inside its own
+/// directories (and a partitioned storm exercises shard scaling instead
+/// of serializing every open on the root's shard).
+std::string MetaPathOf(std::uint32_t file, std::uint32_t files_per_dir);
+
+/// Bootstrap the storm namespace (directories + one file each) into the
+/// sharded metadata service; zero simulated time.
+void PopulateMetaNamespace(meta::MetaService& service, const FileSet& files,
+                           std::uint32_t files_per_dir);
 
 /// Replays traces against a set of initiators.  Trace host h maps to
 /// initiator h % initiators.size().  Play() runs the engine to completion,

@@ -39,6 +39,7 @@ TEST(Check, SubsystemNames) {
   EXPECT_STREQ(SubsystemName(Subsystem::kQos), "qos");
   EXPECT_STREQ(SubsystemName(Subsystem::kHost), "host");
   EXPECT_STREQ(SubsystemName(Subsystem::kRaid), "raid");
+  EXPECT_STREQ(SubsystemName(Subsystem::kMeta), "meta");
   EXPECT_STREQ(SubsystemName(Subsystem::kOther), "other");
 }
 
