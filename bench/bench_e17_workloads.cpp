@@ -56,6 +56,8 @@ struct Scale {
   /// --shards: > 0 routes every storm open through the sharded metadata
   /// service (that many shards) before the data read; 0 = data path only.
   std::uint32_t shards = 0;
+  /// --zipf: skew of the broadcast hot set (0 = spec default, 0.9).
+  double zipf = 0.0;
 };
 
 // Namespace layout when metadata is enabled: 16 files per directory.
@@ -301,6 +303,7 @@ PhaseSummary RunBroadcast(std::uint64_t seed, const Scale& scale,
   spec.files = fs;
   spec.hosts = scale.hosts;
   spec.reads_per_host = scale.ops != 0 ? scale.ops : kDefBroadcastReads;
+  if (scale.zipf != 0.0) spec.zipf_theta = scale.zipf;
   const workload::Trace trace = workload::SharedLibBroadcast(spec, seed);
 
   workload::Runner runner(bed.engine, bed.inits, bed.vol, {}, &bed.hub);
@@ -338,6 +341,7 @@ int main(int argc, char** argv) {
   scale.ops = static_cast<std::uint32_t>(args.ops);  // 0 = per-shape default
   scale.files = static_cast<std::uint32_t>(args.FilesOr(kDefFiles));
   scale.shards = static_cast<std::uint32_t>(args.shards);  // 0 = no metadata
+  scale.zipf = args.zipf;  // 0 = spec default
 
   PrintHeader("E17", "Trace-shaped workloads + countermeasures",
               "the pool's real traffic is storms, small files, broadcasts "

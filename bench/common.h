@@ -26,6 +26,10 @@ namespace nlss::bench {
 ///   --ops=<n>    scale knob: ops per host/stream (0 = bench default)
 ///   --files=<n>  scale knob: file-set size (0 = bench default)
 ///   --shards=<n> scale knob: metadata shard count (0 = bench default)
+///   --flash-mb=<n> scale knob: per-blade flash tier capacity in MiB
+///                (0 = bench default; E19)
+///   --zipf=<t>   workload knob: Zipf skew theta for the trace-shaped
+///                workloads (0 = bench default; E17/E19)
 /// The scale knobs let CI run the trace-shaped workloads (E17) and the
 /// scaling sweeps (E1/E13) at a reduced size without editing the bench;
 /// each bench applies only the knobs that make sense for it.  Unknown
@@ -38,6 +42,8 @@ struct Args {
   std::uint64_t ops = 0;
   std::uint64_t files = 0;
   std::uint64_t shards = 0;
+  std::uint64_t flash_mb = 0;
+  double zipf = 0.0;
 
   /// `hosts` if set, else the bench's built-in default (same for the rest).
   std::uint64_t HostsOr(std::uint64_t def) const {
@@ -50,6 +56,10 @@ struct Args {
   std::uint64_t ShardsOr(std::uint64_t def) const {
     return shards != 0 ? shards : def;
   }
+  std::uint64_t FlashMbOr(std::uint64_t def) const {
+    return flash_mb != 0 ? flash_mb : def;
+  }
+  double ZipfOr(double def) const { return zipf != 0.0 ? zipf : def; }
 
   static Args Parse(int argc, char** argv) {
     Args args;
@@ -77,10 +87,20 @@ struct Args {
         args.files = parse_u64(arg, 8);
       } else if (arg.rfind("--shards=", 0) == 0) {
         args.shards = parse_u64(arg, 9);
+      } else if (arg.rfind("--flash-mb=", 0) == 0) {
+        args.flash_mb = parse_u64(arg, 11);
+      } else if (arg.rfind("--zipf=", 0) == 0) {
+        char* end = nullptr;
+        args.zipf = std::strtod(arg.c_str() + 7, &end);
+        if (end == nullptr || *end != '\0' || args.zipf < 0.0) {
+          std::fprintf(stderr, "invalid flag value: %s\n", arg.c_str());
+          std::exit(2);
+        }
       } else {
         std::fprintf(stderr,
                      "usage: %s [--seed=<n>] [--json] [--hosts=<n>] "
-                     "[--ops=<n>] [--files=<n>] [--shards=<n>]\n",
+                     "[--ops=<n>] [--files=<n>] [--shards=<n>] "
+                     "[--flash-mb=<n>] [--zipf=<t>]\n",
                      argv[0]);
         std::exit(2);
       }

@@ -116,8 +116,17 @@ bool CacheCluster::DirtyElsewhere(ControllerId except,
 void CacheCluster::EnsureRoom(ControllerId ctrl) {
   CacheNode& cache = ctrls_[ctrl]->cache;
   while (cache.Full()) {
-    // Prefer clean victims: evict immediately.
-    if (auto victim = cache.ChooseVictim(/*require_clean=*/true)) {
+    // Prefer clean victims: evict immediately.  With a tier attached the
+    // victim is the coldest clean frame (tracked heat) instead of plain
+    // LRU, and its data is offered to the flash tier on the way out.
+    std::optional<PageKey> victim;
+    if (tier_ != nullptr) victim = tier_->PickVictim(ctrl, cache);
+    if (!victim) victim = cache.ChooseVictim(/*require_clean=*/true);
+    if (victim) {
+      if (tier_ != nullptr) {
+        const CacheNode::Frame* vf = cache.Find(*victim);
+        if (vf != nullptr) tier_->OnCleanEvict(ctrl, *victim, vf->data);
+      }
       cache.Erase(*victim);
       EraseExtra(ctrl, *victim);
       ++ctrls_[ctrl]->stats.evictions;
@@ -151,6 +160,10 @@ CacheNode::Frame& CacheCluster::InstallFrame(ControllerId ctrl,
 void CacheCluster::ReadFromBacking(ControllerId ctrl, PageKey key,
                                    BackingStore::ReadCallback cb,
                                    obs::TraceContext ctx) {
+  // Flash tier sits in front of the disk backing store: a tier hit serves
+  // the page at NVMe latency and never touches the FC feed or the disks.
+  // (cb is passed by value; on a miss the hook leaves it unconsumed.)
+  if (tier_ != nullptr && tier_->TierRead(ctrl, key, cb, ctx)) return;
   BackingStore* vol = volumes_.at(key.volume);
   const std::uint32_t pb = PageBlocks(key.volume);
   const std::uint64_t block = key.page * pb;
@@ -163,10 +176,15 @@ void CacheCluster::ReadFromBacking(ControllerId ctrl, PageKey key,
   const std::uint32_t count = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(pb, vol->CapacityBlocks() - block));
   vol->ReadBlocks(block, count,
-                  [this, ctrl, cb = std::move(cb)](bool ok,
-                                                   util::Bytes data) mutable {
+                  [this, ctrl, key, cb = std::move(cb)](
+                      bool ok, util::Bytes data) mutable {
                     if (ok && data.size() < config_.page_bytes) {
                       data.resize(config_.page_bytes, 0);
+                    }
+                    // Promotion-on-reheat decision point: the tier may
+                    // admit a hot disk-read page into flash.
+                    if (ok && tier_ != nullptr) {
+                      tier_->OnDiskRead(ctrl, key, data);
                     }
                     if (!ok || config_.fc_ns_per_byte <= 0.0) {
                       cb(ok, std::move(data));
@@ -337,10 +355,11 @@ void CacheCluster::FlushRun(ControllerId ctrl, std::vector<PageKey> run,
   engine_.ScheduleAt(compute_done, [this, ctrl, flush_ctx, snaps,
                                     data = std::move(data),
                                     cb = std::move(cb)]() mutable {
-    WriteToBacking(ctrl, snaps->front().key, data, [this, ctrl, snaps,
-                                                    flush_ctx,
-                                                    cb = std::move(cb)](
-                                                       bool ok) mutable {
+    // Settling is identical whether the run landed on disk or was absorbed
+    // by the flash tier: either way the data is durable below DRAM, so the
+    // replicas release and the frames go clean (epoch-checked).
+    std::function<void(bool)> settle = [this, ctrl, snaps, flush_ctx,
+                                        cb = std::move(cb)](bool ok) mutable {
       Controller& c = *ctrls_[ctrl];
       std::vector<PageKey> redo;
       for (const PageSnap& s : *snaps) {
@@ -405,11 +424,34 @@ void CacheCluster::FlushRun(ControllerId ctrl, std::vector<PageKey> run,
       for (const PageKey& key : redo) {
         FlushPage(ctrl, key, [join](bool r) { join->Arrive(r); });
       }
-    }, flush_ctx);
+    };
+    if (tier_ != nullptr) {
+      std::vector<TierPageSnap> tier_snaps;
+      tier_snaps.reserve(snaps->size());
+      for (const PageSnap& s : *snaps) {
+        tier_snaps.push_back(TierPageSnap{s.key, s.epoch, s.wid});
+      }
+      if (tier_->TierWriteBack(ctrl, tier_snaps, data, settle, flush_ctx)) {
+        return;
+      }
+    }
+    WriteToBacking(ctrl, snaps->front().key, data, std::move(settle),
+                   flush_ctx);
   });
 }
 
 void CacheCluster::FlushAll(WriteCallback cb) {
+  // With a tier attached, DRAM write-backs may have been absorbed by
+  // flash; FlushAll's durability contract ("every dirty page on backing")
+  // extends through the tier, so drain dirty flash pages to disk after
+  // the DRAM pass settles.
+  WriteCallback finish = [this, cb = std::move(cb)](bool ok) {
+    if (tier_ == nullptr) {
+      cb(ok);
+      return;
+    }
+    tier_->DrainDirty([cb, ok](bool drained) { cb(ok && drained); });
+  };
   std::vector<std::pair<ControllerId, PageKey>> dirty;
   for (const ControllerId c : live_) {
     ctrls_[c]->cache.ForEach([&](const PageKey& key,
@@ -418,11 +460,11 @@ void CacheCluster::FlushAll(WriteCallback cb) {
     });
   }
   if (dirty.empty()) {
-    engine_.Schedule(0, [cb = std::move(cb)] { cb(true); });
+    engine_.Schedule(0, [finish = std::move(finish)] { finish(true); });
     return;
   }
   auto join = std::make_shared<Join>(static_cast<int>(dirty.size()),
-                                     std::move(cb));
+                                     std::move(finish));
   for (const auto& [c, key] : dirty) {
     FlushPage(c, key, [join](bool ok) { join->Arrive(ok); });
   }
@@ -838,6 +880,7 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
     return;
   }
   ++c.stats.ops;
+  if (tier_ != nullptr) tier_->OnAccess(via, key, /*write=*/false);
   // Per-page span: holds the hit/miss classification, ends when the page is
   // delivered.
   const obs::TraceContext span =
@@ -893,6 +936,7 @@ void CacheCluster::WritePage(ControllerId via, PageKey key,
   }
   assert(offset + data.size() <= config_.page_bytes);
   ++c.stats.ops;
+  if (tier_ != nullptr) tier_->OnAccess(via, key, /*write=*/true);
   const ControllerId home = HomeOf(key);
   const obs::TraceContext span =
       obs::StartSpan(ctx, obs::Layer::kCache, "cache.page");
@@ -1018,6 +1062,28 @@ void CacheCluster::WriteWithReplication(ControllerId via, std::uint32_t volume,
     WritePage(via, p.key, p.in_page, std::move(chunk), replication, priority,
               [join](bool ok) { join->Arrive(ok); }, span, wid);
   }
+}
+
+// --- Tier support -------------------------------------------------------------
+
+void CacheCluster::TierBackingWrite(ControllerId ctrl, const PageKey& key,
+                                    const util::Bytes& data,
+                                    BackingStore::WriteCallback cb,
+                                    obs::TraceContext ctx) {
+  WriteToBacking(ctrl, key, data, std::move(cb), ctx);
+}
+
+bool CacheCluster::StealCleanFrame(ControllerId ctrl, const PageKey& key,
+                                   util::Bytes* out) {
+  Controller& c = *ctrls_[ctrl];
+  if (!c.alive) return false;
+  CacheNode::Frame* f = c.cache.Find(key);
+  if (f == nullptr || f->dirty || f->busy || f->is_replica) return false;
+  *out = std::move(f->data);
+  c.cache.Erase(key);
+  EraseExtra(ctrl, key);
+  ++c.stats.evictions;
+  return true;
 }
 
 // --- Failure & recovery -----------------------------------------------------------

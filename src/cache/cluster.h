@@ -34,6 +34,7 @@
 #include "cache/backing.h"
 #include "cache/dedup.h"
 #include "cache/node.h"
+#include "cache/tierhook.h"
 #include "cache/types.h"
 #include "net/fabric.h"
 #include "obs/trace.h"
@@ -144,6 +145,26 @@ class CacheCluster {
   /// StorageSystem) so the flush coalescer can audit the representative
   /// write ids of the pages it merges.  Pass nullptr to detach.
   void SetDedupIndex(const WriteDedupIndex* dedup) { dedup_ = dedup; }
+
+  /// Attach the storage-tier placement engine (src/tier): demand misses
+  /// consult the flash tier before disk, write-backs and clean evictions
+  /// are offered to it, and victim choice turns heat-aware.  Pass nullptr
+  /// to detach (default: behavior identical to the untiered build).
+  void AttachTier(TierHook* tier) { tier_ = tier; }
+  TierHook* tier() const { return tier_; }
+
+  // --- Tier support (called by the tier::TierManager) -----------------------
+  /// Raw backing write for the tier's flash->disk demotion pipeline:
+  /// charges the blade's FC feed and counts a backing write, but touches
+  /// no cache state and is never re-offered to the tier.
+  void TierBackingWrite(ControllerId ctrl, const PageKey& key,
+                        const util::Bytes& data, BackingStore::WriteCallback cb,
+                        obs::TraceContext ctx = {});
+  /// Cooling-phase eviction: if `key` at `ctrl` is a clean, idle, primary
+  /// frame, move its data into `*out`, erase the frame, and count an
+  /// eviction.  Returns false (no state change) otherwise.
+  bool StealCleanFrame(ControllerId ctrl, const PageKey& key,
+                       util::Bytes* out);
 
   /// Return a failed controller to service with an empty cache (replaced
   /// or upgraded blade).  Call Recover() afterwards to rebalance homes.
@@ -290,6 +311,8 @@ class CacheCluster {
   obs::Tracer* tracer_ = nullptr;  // roots "cache.flush" background spans
   // Audit-only view of the write idempotency index (null when detached).
   const WriteDedupIndex* dedup_ = nullptr;
+  // Storage-tier placement engine (null when detached).
+  TierHook* tier_ = nullptr;
 };
 
 }  // namespace nlss::cache

@@ -21,6 +21,8 @@ const char* SubsystemName(Subsystem s) {
       return "raid";
     case Subsystem::kMeta:
       return "meta";
+    case Subsystem::kTier:
+      return "tier";
     case Subsystem::kOther:
       return "other";
   }

@@ -45,9 +45,10 @@ enum class Subsystem : std::uint8_t {
   kHost,   // exactly-once completion, breaker transition legality
   kRaid,   // rebuild: no chunk rebuilt or re-queued after completion
   kMeta,   // dentry coherence: no resolve served against a stale version
+  kTier,   // tier placement: single location, in-flight moves, demote order
   kOther,  // uncategorized (tests, one-off checks)
 };
-inline constexpr int kSubsystemCount = 7;
+inline constexpr int kSubsystemCount = 8;
 const char* SubsystemName(Subsystem s);
 
 /// Context handed to the violation handler.

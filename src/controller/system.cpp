@@ -52,6 +52,12 @@ StorageSystem::StorageSystem(sim::Engine& engine, net::Fabric& fabric,
   // The flush coalescer audits the representative write ids of the pages
   // it merges against the idempotency index (ghost-write invariants).
   cache_->SetDedupIndex(&dedup_);
+  if (config_.tier.enabled) {
+    tier_ = std::make_unique<tier::TierManager>(engine_, *cache_,
+                                                config_.tier);
+    tier_->SetDedupIndex(&dedup_);
+    cache_->AttachTier(tier_.get());
+  }
   rebuild_ = std::make_unique<raid::RebuildEngine>(engine_);
   for (std::uint32_t i = 0; i < config_.controllers; ++i) {
     rebuild_->AddWorker(&cache_->compute(i));
@@ -135,6 +141,14 @@ qos::TenantId StorageSystem::ResolveTenant(VolumeId vol,
 
 void StorageSystem::AttachQos(qos::Scheduler* qos) {
   qos_ = qos;
+  if (tier_ != nullptr) {
+    // Demotion batches ride admission as their own background tenant so
+    // tier traffic queues behind foreground classes.
+    tier_->AttachQos(qos_, qos_ == nullptr
+                               ? qos::kDefaultTenant
+                               : qos_->registry().Register(
+                                     "tier", qos::ServiceClass::kBronze));
+  }
   if (qos_ == nullptr) return;
   // Bind existing volumes by tenant name so auto-resolution works for
   // volumes created before the scheduler was attached.
@@ -195,6 +209,10 @@ void StorageSystem::AttachObs(obs::Hub* hub) {
   // Background work (flush write-backs, rebuild jobs) roots its own spans.
   cache_->SetTracer(hub_ == nullptr ? nullptr : &hub_->tracer());
   rebuild_->SetTracer(hub_ == nullptr ? nullptr : &hub_->tracer());
+  if (tier_ != nullptr) {
+    tier_->SetTracer(hub_ == nullptr ? nullptr : &hub_->tracer());
+    tier_->AttachObs(hub_);
+  }
   if (hub_ == nullptr) {
     reads_total_ = writes_total_ = io_failures_total_ = nullptr;
     read_latency_ns_ = write_latency_ns_ = nullptr;

@@ -28,6 +28,7 @@
 #include "raid/group.h"
 #include "raid/rebuild.h"
 #include "sim/engine.h"
+#include "tier/manager.h"
 #include "virt/chargeback.h"
 #include "virt/pool.h"
 #include "virt/volume.h"
@@ -56,6 +57,9 @@ struct SystemConfig {
   disk::DiskProfile disk_profile;
   std::uint32_t extent_blocks = 256;  // 1 MiB pool extents
   cache::CacheCluster::Config cache;
+  // Flash tier between DRAM and disk (E19).  Disabled by default so the
+  // untiered stack keeps bit-identical digests.
+  tier::Config tier;
   net::LinkProfile host_link = net::LinkProfile::FibreChannel2G();
   net::LinkProfile backplane = net::LinkProfile::Backplane();
   Balancing balancing = Balancing::kRoundRobin;
@@ -187,6 +191,11 @@ class StorageSystem {
   void AttachMeta(meta::MetaService* meta) { meta_ = meta; }
   meta::MetaService* meta() const { return meta_; }
 
+  // --- Storage tiering (heat-tracked DRAM -> flash -> disk, E19) -------------
+  /// Present when SystemConfig::tier.enabled; null otherwise.
+  tier::TierManager* tier() { return tier_.get(); }
+  const tier::TierManager* tier() const { return tier_.get(); }
+
   // --- Failure / maintenance ------------------------------------------------------
   void FailController(std::uint32_t i);
   /// Sudden crash the cluster has not yet noticed (pair with a
@@ -245,6 +254,7 @@ class StorageSystem {
   std::vector<std::unique_ptr<raid::RaidGroup>> groups_;
   std::unique_ptr<virt::StoragePool> pool_;
   std::unique_ptr<cache::CacheCluster> cache_;
+  std::unique_ptr<tier::TierManager> tier_;
   std::unique_ptr<raid::RebuildEngine> rebuild_;
   std::unique_ptr<virt::ChargeBack> chargeback_;
   std::vector<std::unique_ptr<virt::DemandMappedVolume>> volumes_;

@@ -120,6 +120,15 @@ void Client::WalkFrom(
     DirId dir,
     std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>> chain,
     MetaService::ResolveCallback cb, obs::TraceContext ctx) {
+  // E18a hot-root fix: a cold walk's first step always lands on the root
+  // directory's shard, so 32 hosts missing on distinct "/dN" paths still
+  // serialize there.  Serve that step from a version-stamped root copy
+  // instead of a shard visit whenever the delegation grant is usable.
+  if (dir == kRootDir && config_.root_delegation && config_.capacity != 0 &&
+      !root_grant_broken_ &&
+      TryRootDelegation(parts, next, chain, cb, ctx)) {
+    return;
+  }
   ++stats_.steps;
   service_.LookupStep(
       dir, (*parts)[next],
@@ -145,6 +154,98 @@ void Client::WalkFrom(
         WalkFrom(parts, next + 1, d.ino, chain, cb, ctx);
       },
       ctx);
+}
+
+bool Client::TryRootDelegation(
+    std::shared_ptr<std::vector<std::string>> parts, std::size_t next,
+    std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>> chain,
+    MetaService::ResolveCallback cb, obs::TraceContext ctx) {
+  if (root_grant_pending_) {
+    // A grant fetch is already in flight; join it instead of issuing a
+    // second shard visit, and re-enter the walk once the copy lands.
+    ++stats_.delegation_joins;
+    root_grant_waiters_.push_back(
+        [this, parts, next, chain, cb = std::move(cb), ctx]() {
+          WalkFrom(parts, next, kRootDir, chain, cb, ctx);
+        });
+    return true;
+  }
+  if (!root_grant_valid_) {
+    // No usable copy: fetch one.  The requester becomes the first waiter
+    // so it pays exactly one delegation round-trip, same as a LookupStep.
+    ++stats_.delegation_grants;
+    root_grant_pending_ = true;
+    root_grant_waiters_.push_back(
+        [this, parts, next, chain, cb = std::move(cb), ctx]() {
+          WalkFrom(parts, next, kRootDir, chain, cb, ctx);
+        });
+    service_.DelegateDirectory(
+        kRootDir,
+        [this](Status st, std::map<std::string, Dentry> copy,
+               std::uint64_t version) {
+          root_grant_pending_ = false;
+          if (st == Status::kOk) {
+            root_copy_ = std::move(copy);
+            root_version_ = version;
+            root_grant_valid_ = true;
+          } else {
+            // The root cannot vanish, so this never fires in practice —
+            // but if it did, re-entering waiters would re-fetch forever.
+            root_grant_broken_ = true;
+          }
+          std::vector<std::function<void()>> waiters;
+          waiters.swap(root_grant_waiters_);
+          for (auto& w : waiters) w();
+        },
+        ctx);
+    return true;
+  }
+  // Usable copy: serve the root step locally after local_hit_ns.  Same
+  // hit-to-serve race as a full-path hit: re-validate against the
+  // authoritative root version at fire time, never serve a stale copy.
+  ++stats_.delegation_hits;
+  service_.engine().Schedule(
+      config_.local_hit_ns,
+      [this, parts, next, chain, cb = std::move(cb), ctx]() {
+        if (!root_grant_valid_ ||
+            service_.DirVersion(kRootDir) != root_version_) {
+          DropRootGrant();
+          ++stats_.revalidation_fallbacks;
+          WalkFrom(parts, next, kRootDir, chain, cb, ctx);
+          return;
+        }
+        const auto it = root_copy_.find((*parts)[next]);
+        if (it == root_copy_.end()) {
+          // The copy is complete at root_version_, so a miss in it is an
+          // authoritative negative — no shard visit to confirm.
+          cb(Status::kNotFound, {});
+          return;
+        }
+        const Dentry d = it->second;
+        chain->emplace_back(kRootDir, root_version_);
+        Entry e;
+        e.dentry = d;
+        e.chain = *chain;
+        InsertEntry(JoinPath(*parts, next + 1), std::move(e));
+        if (next + 1 == parts->size()) {
+          cb(Status::kOk, d);
+          return;
+        }
+        if (!d.is_dir) {
+          cb(Status::kNotDirectory, {});
+          return;
+        }
+        WalkFrom(parts, next + 1, d.ino, chain, cb, ctx);
+      });
+  return true;
+}
+
+void Client::DropRootGrant() {
+  if (!root_grant_valid_) return;
+  root_grant_valid_ = false;
+  root_copy_.clear();
+  root_version_ = 0;
+  ++stats_.delegation_drops;
 }
 
 void Client::InsertEntry(const std::string& path, Entry entry) {
@@ -190,6 +291,10 @@ void Client::TouchLru(const std::string& path, Entry& entry) {
 
 void Client::OnDirectoryInvalidate(DirId dir, std::uint64_t /*version*/) {
   ++stats_.invalidations;
+  // The root copy mirrors "/" in full; any root mutation stales it.  (A
+  // pending fetch is left alone — its version stamp is re-validated at
+  // every use, so a copy read before the mutation can never be served.)
+  if (dir == kRootDir) DropRootGrant();
   const auto it = by_dir_.find(dir);
   if (it == by_dir_.end()) return;
   const std::vector<std::string> paths(it->second.begin(), it->second.end());

@@ -39,6 +39,12 @@ struct ClientConfig {
   std::size_t capacity = 4096;
   /// Service time of a full-path cache hit (host-local lookup).
   sim::Tick local_hit_ns = 400;
+  /// Root delegation (E18a): hold a version-stamped full copy of "/" and
+  /// serve cold walks' first component locally instead of serializing
+  /// every walk on the root directory's shard.  The copy is re-validated
+  /// against the authoritative root version on every use and dropped on
+  /// root invalidation, so it can never serve a stale entry.
+  bool root_delegation = true;
 };
 
 struct ClientStats {
@@ -53,6 +59,11 @@ struct ClientStats {
   /// Hits that lost the hit-to-serve race against a mutation and fell
   /// back to a service walk (counted in addition to the full_hit).
   std::uint64_t revalidation_fallbacks = 0;
+  // --- Root delegation (E18a) ---------------------------------------------
+  std::uint64_t delegation_grants = 0;  // root copies fetched
+  std::uint64_t delegation_hits = 0;    // root steps served from the copy
+  std::uint64_t delegation_joins = 0;   // walks that joined a grant fetch
+  std::uint64_t delegation_drops = 0;   // copies dropped (root changed)
 };
 
 class Client {
@@ -103,6 +114,14 @@ class Client {
                 std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>>
                     chain,
                 MetaService::ResolveCallback cb, obs::TraceContext ctx);
+  /// Serve a root-directory step from the delegation copy (fetching or
+  /// joining a grant first when needed).  Returns false when delegation is
+  /// off/unavailable and the caller should issue a plain LookupStep.
+  bool TryRootDelegation(
+      std::shared_ptr<std::vector<std::string>> parts, std::size_t next,
+      std::shared_ptr<std::vector<std::pair<DirId, std::uint64_t>>> chain,
+      MetaService::ResolveCallback cb, obs::TraceContext ctx);
+  void DropRootGrant();
   void InsertEntry(const std::string& path, Entry entry);
   void RemoveEntry(const std::string& path, std::uint64_t* counter);
   void TouchLru(const std::string& path, Entry& entry);
@@ -114,6 +133,13 @@ class Client {
   std::map<DirId, std::set<std::string>> by_dir_;  // chain dir -> paths
   std::map<std::uint64_t, std::string> lru_order_;  // stamp -> path
   std::uint64_t lru_clock_ = 0;
+  // Root delegation state: a full, version-stamped copy of "/".
+  bool root_grant_valid_ = false;
+  bool root_grant_pending_ = false;
+  bool root_grant_broken_ = false;  // fetch failed: stop re-trying forever
+  std::map<std::string, Dentry> root_copy_;
+  std::uint64_t root_version_ = 0;
+  std::vector<std::function<void()>> root_grant_waiters_;
   ClientStats stats_;
 };
 

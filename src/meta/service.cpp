@@ -223,6 +223,39 @@ void MetaService::LookupStep(DirId dir, const std::string& name,
       ctx);
 }
 
+void MetaService::DelegateDirectory(DirId dir, DelegateCallback cb,
+                                    obs::TraceContext ctx) {
+  ++stats_.delegations;
+  bool root = false;
+  obs::TraceContext op = StartOp(ctx, "meta.delegate", &root);
+  // Billed like a full listing: base scan cost plus every entry copied.
+  const Directory* d = FindDir(dir);
+  const std::size_t approx = d == nullptr ? 0 : d->entries.size();
+  auto result =
+      std::make_shared<std::tuple<Status, std::map<std::string, Dentry>,
+                                  std::uint64_t>>(
+          Status::kNotFound, std::map<std::string, Dentry>{}, 0);
+  Visit(
+      ShardOf(dir), MetaShard::OpClass::kScan,
+      config_.scan_cost_ns +
+          config_.scan_entry_cost_ns * static_cast<sim::Tick>(approx),
+      [this, dir, result]() {
+        Directory* d2 = FindDir(dir);
+        if (d2 == nullptr) return;  // stays kNotFound
+        std::get<0>(*result) = Status::kOk;
+        d2->entries.ForEach([&](const std::string& name, const Dentry& de) {
+          std::get<1>(*result).emplace(name, de);
+        });
+        std::get<2>(*result) = d2->version;
+      },
+      [this, cb = std::move(cb), result, op, root]() {
+        FinishOp(op, root, std::get<0>(*result) == Status::kOk);
+        cb(std::get<0>(*result), std::move(std::get<1>(*result)),
+           std::get<2>(*result));
+      },
+      op);
+}
+
 void MetaService::ResolveStep(std::shared_ptr<std::vector<std::string>> parts,
                               std::size_t i, DirId dir, ResolveCallback done,
                               obs::TraceContext ctx) {
@@ -702,6 +735,9 @@ void MetaService::AttachObs(obs::Hub* hub) {
   m.AddCallback("nlss_meta_qos_rejects_total",
                 "Metadata ops bounced by QoS admission (retried)",
                 [this] { return static_cast<double>(stats_.qos_rejects); });
+  m.AddCallback("nlss_meta_delegations_total",
+                "Directory-copy delegation grants served (E18a)",
+                [this] { return static_cast<double>(stats_.delegations); });
   m.AddCallback("nlss_meta_map_epoch", "Shard-map epoch (bumped on remaps)",
                 [this] { return static_cast<double>(map_epoch_); });
   for (ShardId s = 0; s < shards_.size(); ++s) {

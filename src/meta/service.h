@@ -76,6 +76,7 @@ struct ServiceStats {
   /// clients at delivery time).
   std::uint64_t invalidations = 0;
   std::uint64_t qos_rejects = 0;  // admission rejections (op retried)
+  std::uint64_t delegations = 0;  // directory-copy grants served
   std::uint64_t remaps = 0;       // shard->blade remaps (blade down/up)
   std::uint64_t moved_dirs = 0;   // explicit rebalance moves
 };
@@ -127,6 +128,17 @@ class MetaService {
   /// ancestor and only need the tail of the path.
   void LookupStep(DirId dir, const std::string& name, LookupCallback cb,
                   obs::TraceContext ctx = {});
+
+  /// Directory delegation (E18a hot-root fix): one scan-class visit to
+  /// `dir`'s shard returns a full copy of its dentries plus the version
+  /// the copy is valid at.  A client holding the copy serves lookups in
+  /// `dir` locally — including authoritative negatives — until the
+  /// version moves, instead of serializing every cold walk's first step
+  /// on the root directory's shard.
+  using DelegateCallback = std::function<void(
+      Status, std::map<std::string, Dentry>, std::uint64_t version)>;
+  void DelegateDirectory(DirId dir, DelegateCallback cb,
+                         obs::TraceContext ctx = {});
 
   // --- Bootstrap (zero simulated time; namespace population) ----------------
   Status BootstrapMkdir(const std::string& path);

@@ -117,6 +117,12 @@ proto::HttpResponse AdminHttp::Handle(const std::string& raw_request) {
     if (meta_ == nullptr) return Json(404, "{\"error\":\"no meta service\"}");
     return MetaReport();
   }
+  if (path == "/tier") {
+    if (system_.tier() == nullptr) {
+      return Json(404, "{\"error\":\"no flash tier\"}");
+    }
+    return TierReport();
+  }
   if (path == "/metrics") {
     if (hub_ == nullptr) return Json(404, "{\"error\":\"no obs hub\"}");
     // Prometheus text exposition format, not JSON.
@@ -220,6 +226,51 @@ proto::HttpResponse AdminHttp::QosSetWeight(const std::string& query) {
   w.Field("ok", true);
   w.Field("class", cls_it->second);
   w.Field("weight", static_cast<std::uint64_t>(weight));
+  w.EndObject();
+  return Json(200, w.str());
+}
+
+proto::HttpResponse AdminHttp::TierReport() const {
+  const tier::TierManager& tier = *system_.tier();
+  const tier::Stats& s = tier.stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("flash_capacity_pages", tier.config().flash_capacity_pages);
+  w.Field("flash_pages", tier.TotalFlashPages());
+  const std::uint64_t lookups = s.flash_hits + s.flash_misses;
+  w.Field("flash_hit_rate",
+          lookups == 0 ? 0.0
+                       : static_cast<double>(s.flash_hits) /
+                             static_cast<double>(lookups));
+  w.Field("flash_hits", s.flash_hits);
+  w.Field("flash_misses", s.flash_misses);
+  w.Field("remote_reads", s.remote_reads);
+  w.Field("joins", s.joins);
+  w.Field("spills", s.spills);
+  w.Field("admits", s.admits);
+  w.Field("writeback_absorbs", s.writeback_absorbs);
+  w.Field("promotions", s.promotions);
+  w.Field("demotions", s.demotions);
+  w.Field("stale_demotes", s.stale_demotes);
+  w.Field("drops", s.drops);
+  w.Field("cool_scans", s.cool_scans);
+  w.Field("cool_spills", s.cool_spills);
+  w.Field("cool_drops", s.cool_drops);
+  w.Field("qos_rejects", s.qos_rejects);
+  w.Key("blades").BeginArray();
+  for (cache::ControllerId c = 0; c < tier.lanes(); ++c) {
+    w.BeginObject();
+    w.Field("blade", static_cast<std::uint64_t>(c));
+    w.Field("flash_pages", tier.FlashPages(c));
+    w.Field("dirty_pages", tier.FlashDirtyPages(c));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("heat_histogram").BeginArray();
+  for (const std::uint64_t bucket : tier.heat().Histogram()) {
+    w.Value(bucket);
+  }
+  w.EndArray();
   w.EndObject();
   return Json(200, w.str());
 }

@@ -14,6 +14,9 @@
 //   GET /meta            sharded metadata service: shard map (per-shard
 //                        blade, directory + op counts, busy/queue time),
 //                        service stats, host dentry-cache hit rate
+//   GET /tier            flash tier: per-blade occupancy (total/dirty
+//                        pages), heat histogram, eviction/promotion/
+//                        demotion counters, flash hit rate
 //   GET /metrics         Prometheus text exposition (obs hub attached)
 //   GET /traces?tenant=<t>&name=<substr>&min_us=<n>&view=<slowest|recent>
 //                        retained traces with per-layer breakdowns:
@@ -58,6 +61,7 @@ class AdminHttp {
   proto::HttpResponse QosSetWeight(const std::string& query);
   proto::HttpResponse Traces(const std::string& query) const;
   proto::HttpResponse MetaReport() const;
+  proto::HttpResponse TierReport() const;
 
   controller::StorageSystem& system_;
   security::AuthService& auth_;

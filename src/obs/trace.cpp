@@ -36,6 +36,8 @@ const char* LayerName(Layer layer) {
       return "geo";
     case Layer::kMeta:
       return "meta";
+    case Layer::kTier:
+      return "tier";
     case Layer::kOther:
       return "other";
   }

@@ -41,9 +41,10 @@ enum class Layer : std::uint8_t {
   kDisk,        // disk mechanics
   kGeo,         // cross-site replication hops
   kMeta,        // sharded metadata service (namespace ops, dentry cache)
+  kTier,        // flash tier (spills, promotions, demotions, flash reads)
   kOther,
 };
-inline constexpr int kLayerCount = 11;
+inline constexpr int kLayerCount = 12;
 const char* LayerName(Layer layer);
 
 class Tracer;
@@ -88,7 +89,7 @@ struct Breakdown {
   sim::Tick service() const {
     return of(Layer::kHost) + of(Layer::kProto) + of(Layer::kController) +
            of(Layer::kCache) + of(Layer::kRaid) + of(Layer::kGeo) +
-           of(Layer::kMeta) + of(Layer::kOther);
+           of(Layer::kMeta) + of(Layer::kTier) + of(Layer::kOther);
   }
   sim::Tick SelfSum() const {
     sim::Tick s = 0;

@@ -1,0 +1,39 @@
+#include "tier/heat.h"
+
+namespace nlss::tier {
+
+std::uint32_t HeatTracker::Decayed(const Cell& cell) const {
+  const std::uint64_t elapsed = EpochNow() - cell.epoch;
+  const std::uint64_t shift =
+      elapsed * static_cast<std::uint64_t>(config_.decay_shift);
+  if (shift >= 32) return 0;
+  return cell.heat >> shift;
+}
+
+void HeatTracker::Touch(const cache::PageKey& key) {
+  Cell& cell = cells_[key];
+  const std::uint32_t decayed = Decayed(cell);
+  cell.heat = decayed + config_.touch_weight;
+  if (cell.heat > config_.max_heat) cell.heat = config_.max_heat;
+  cell.epoch = EpochNow();
+}
+
+std::uint32_t HeatTracker::HeatOf(const cache::PageKey& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return 0;
+  return Decayed(it->second);
+}
+
+std::array<std::uint64_t, HeatTracker::kHistogramBuckets>
+HeatTracker::Histogram() const {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  for (const auto& [key, cell] : cells_) {
+    const std::uint32_t h = Decayed(cell);
+    int b = 0;
+    while ((1u << b) <= h && b + 1 < kHistogramBuckets) ++b;
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+}  // namespace nlss::tier

@@ -1,0 +1,78 @@
+// HeatTracker: deterministic per-page access-temperature accounting for
+// the tier placement engine (E19).
+//
+// Pure LRU cannot distinguish "touched once, never again" from "touched
+// every few milliseconds" — exactly the distinction a DRAM -> flash ->
+// disk placement needs.  The tracker keeps a small saturating counter per
+// page, decayed by epoch: heat is halved (shifted) once per elapsed
+// `epoch_ns` of *simulated* time, computed lazily from sim::Engine::now()
+// at touch/query time.  No wall clock, no timers, no background events —
+// two same-seed runs decay identically, and an idle tracker schedules
+// nothing (the DES event queue still drains).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "cache/types.h"
+#include "sim/engine.h"
+
+namespace nlss::tier {
+
+class HeatTracker {
+ public:
+  struct Config {
+    /// Simulated time per decay epoch; each elapsed epoch halves heat.
+    /// 20 ms spans a few closed-loop disk round-trips, so a page must be
+    /// re-touched on that timescale to stay warm.
+    sim::Tick epoch_ns = 20 * 1000 * 1000;
+    /// Right-shift applied per elapsed epoch (1 = halve).
+    std::uint32_t decay_shift = 1;
+    /// Heat added per touch.
+    std::uint32_t touch_weight = 4;
+    /// Saturation ceiling (keeps decay arithmetic in 32 bits).
+    std::uint32_t max_heat = 1u << 20;
+  };
+
+  HeatTracker(sim::Engine& engine, Config config)
+      : engine_(engine), config_(config) {}
+
+  /// Record one access to `key` at the current simulated time.
+  void Touch(const cache::PageKey& key);
+
+  /// Decayed heat of `key` as of now (0 when untracked).
+  std::uint32_t HeatOf(const cache::PageKey& key) const;
+
+  /// Drop `key`'s cell (page left every tier).
+  void Forget(const cache::PageKey& key) { cells_.erase(key); }
+
+  /// Drop every cell (bench reset between phases).
+  void Clear() { cells_.clear(); }
+
+  std::size_t tracked() const { return cells_.size(); }
+
+  /// Population histogram over log2(heat) buckets: bucket 0 counts pages
+  /// with decayed heat 0, bucket i counts heat in [2^(i-1), 2^i).  The
+  /// mgmt `GET /tier` report exposes this.
+  static constexpr int kHistogramBuckets = 16;
+  std::array<std::uint64_t, kHistogramBuckets> Histogram() const;
+
+ private:
+  struct Cell {
+    std::uint32_t heat = 0;
+    std::uint64_t epoch = 0;  // epoch index the stored heat is valid at
+  };
+
+  std::uint64_t EpochNow() const {
+    return static_cast<std::uint64_t>(engine_.now()) / config_.epoch_ns;
+  }
+  std::uint32_t Decayed(const Cell& cell) const;
+
+  sim::Engine& engine_;
+  Config config_;
+  // Ordered map: the histogram and any future scan feed digests.
+  std::map<cache::PageKey, Cell> cells_;
+};
+
+}  // namespace nlss::tier

@@ -419,6 +419,72 @@ TEST(DentryCache, CapacityZeroBypassesAndLruEvicts) {
   EXPECT_GT(lru.stats().evictions, 0u);
 }
 
+// Root delegation (E18a): a client holds a version-stamped full copy of
+// "/" and serves every walk's first component — including authoritative
+// negatives — locally, instead of serializing all cold walks on the root
+// directory's shard.  The copy must drop the instant the root changes.
+TEST(DentryCache, RootDelegationServesRootStepsLocally) {
+  sim::Engine engine;
+  MetaService service(engine);
+  Client client(service, "c0");
+  ASSERT_EQ(service.BootstrapMkdir("/d"), Status::kOk);
+  ASSERT_EQ(service.BootstrapCreate("/d/f1"), Status::kOk);
+  ASSERT_EQ(service.BootstrapCreate("/d/f2"), Status::kOk);
+
+  // Two concurrent cold resolves: the first requests the grant, the
+  // second joins the in-flight fetch — exactly one DelegateDirectory.
+  Status s1{}, s2{};
+  client.Resolve("/d/f1", [&](Status s, Dentry) { s1 = s; });
+  client.Resolve("/d/f2", [&](Status s, Dentry) { s2 = s; });
+  engine.Run();
+  ASSERT_EQ(s1, Status::kOk);
+  ASSERT_EQ(s2, Status::kOk);
+  EXPECT_EQ(client.stats().delegation_grants, 1u);
+  EXPECT_EQ(client.stats().delegation_joins, 1u);
+  EXPECT_EQ(client.stats().delegation_hits, 2u)
+      << "both walks' root steps must serve from the copy";
+
+  // A name absent from the root copy is an authoritative negative: no
+  // shard visit (zero LookupSteps), answered in one local-hit delay.
+  const std::uint64_t steps0 = client.stats().steps;
+  const sim::Tick t0 = engine.now();
+  Status missing{};
+  client.Resolve("/nope", [&](Status s, Dentry) { missing = s; });
+  engine.Run();
+  EXPECT_EQ(missing, Status::kNotFound);
+  EXPECT_EQ(client.stats().steps, steps0)
+      << "a delegated negative must not visit any shard";
+  EXPECT_EQ(engine.now() - t0, client.config().local_hit_ns);
+
+  // Renaming a root entry bumps "/"'s version: the grant drops and the
+  // next walk re-fetches a copy that holds the new truth.
+  bool renamed = false;
+  service.Rename("/d", "/e", [&](Status s) { renamed = (s == Status::kOk); });
+  engine.Run();
+  ASSERT_TRUE(renamed);
+  EXPECT_EQ(client.stats().delegation_drops, 1u);
+
+  Status fresh{}, stale{};
+  client.Resolve("/e/f1", [&](Status s, Dentry) { fresh = s; });
+  engine.Run();
+  client.Resolve("/d/f1", [&](Status s, Dentry) { stale = s; });
+  engine.Run();
+  EXPECT_EQ(fresh, Status::kOk);
+  EXPECT_EQ(stale, Status::kNotFound);
+  EXPECT_EQ(client.stats().delegation_grants, 2u);
+
+  // With delegation off, the same walks issue root LookupSteps.
+  ClientConfig off;
+  off.root_delegation = false;
+  Client plain(service, "c1", off);
+  Status ps{};
+  plain.Resolve("/e/f1", [&](Status s, Dentry) { ps = s; });
+  engine.Run();
+  EXPECT_EQ(ps, Status::kOk);
+  EXPECT_EQ(plain.stats().delegation_grants, 0u);
+  EXPECT_EQ(plain.stats().steps, 2u);
+}
+
 // --- Metadata under QoS admission --------------------------------------------
 
 TEST(MetaQos, RejectedOpsRetryToCompletion) {
