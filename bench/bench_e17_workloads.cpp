@@ -460,7 +460,7 @@ int main(int argc, char** argv) {
   if (args.json) {
     const obs::Breakdown& lay = ck_pooled.layers;
     std::printf(
-        "\nJSON: {\"experiment\":\"e17\",\"seed\":%llu,"
+        "\nJSON: {\"experiment\":\"e17\",\"seed\":%llu,\"perturb\":%llu,"
         "\"hosts\":%u,\"files\":%u,"
         "\"storm\":{\"mean_open_us_serial\":%.1f,"
         "\"mean_open_us_batched\":%.1f,\"open_cut\":%.2f,"
@@ -474,7 +474,8 @@ int main(int argc, char** argv) {
         "\"layers_ns\":{\"host\":%llu,\"controller\":%llu,\"qos\":%llu,"
         "\"cache\":%llu,\"net\":%llu,\"raid\":%llu,\"disk\":%llu}},"
         "\"digest_match\":%s}\n",
-        (unsigned long long)args.seed, scale.hosts, scale.files,
+        (unsigned long long)args.seed, (unsigned long long)args.perturb,
+        scale.hosts, scale.files,
         storm_serial.mean_open_us, storm_batched.mean_open_us, open_cut,
         (unsigned long long)storm_batched.prefetch.batched_reads,
         (unsigned long long)storm_batched.prefetch.hits,

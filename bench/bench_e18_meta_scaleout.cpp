@@ -315,7 +315,10 @@ IngestResult RunIngest(std::uint64_t seed, std::uint32_t hosts,
   bed.meta->AttachQos(&qos, tenant);
 
   for (std::uint32_t h = 0; h < hosts; ++h) {
-    bed.meta->BootstrapMkdir("/ing" + std::to_string(h));
+    if (bed.meta->BootstrapMkdir("/ing" + std::to_string(h)) !=
+        meta::Status::kOk) {
+      std::abort();  // fresh namespace: population must not fail
+    }
   }
 
   // Closed-loop create burst: each host populates its ingest directory

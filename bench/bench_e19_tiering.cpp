@@ -305,7 +305,7 @@ int main(int argc, char** argv) {
 
   if (args.json) {
     std::printf(
-        "\nJSON: {\"experiment\":\"e19\",\"seed\":%llu,"
+        "\nJSON: {\"experiment\":\"e19\",\"seed\":%llu,\"perturb\":%llu,"
         "\"hosts\":%u,\"files\":%u,\"flash_mb\":%llu,\"zipf\":%.2f,"
         "\"working_set_x_dram\":%.1f,"
         "\"base_mbps\":%.1f,\"tier_mbps\":%.1f,\"speedup\":%.2f,"
@@ -315,7 +315,8 @@ int main(int argc, char** argv) {
         "\"stale_demotes\":%llu,\"joins\":%llu},"
         "\"double_applies\":%llu,\"ghost_writes\":%llu,"
         "\"ktier_violations\":%llu,\"digest_match\":%s}\n",
-        (unsigned long long)args.seed, scale.hosts, scale.files,
+        (unsigned long long)args.seed, (unsigned long long)args.perturb,
+        scale.hosts, scale.files,
         (unsigned long long)scale.flash_mb, scale.zipf, ws_mb / dram_mb,
         base.mbps, tierd.mbps, speedup, hit_rate,
         (unsigned long long)tierd.tier.flash_hits,

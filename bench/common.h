@@ -30,6 +30,11 @@ namespace nlss::bench {
 ///                (0 = bench default; E19)
 ///   --zipf=<t>   workload knob: Zipf skew theta for the trace-shaped
 ///                workloads (0 = bench default; E17/E19)
+///   --perturb=<n> determinism knob: permute same-tick event order with
+///                seed n (0 = FIFO).  Equivalent to NLSS_PERTURB=<n>; the
+///                bench's own same-seed digest gates then prove the run
+///                is reproducible under a perturbed schedule, so perf
+///                runs double as determinism checks (E1/E17/E19).
 /// The scale knobs let CI run the trace-shaped workloads (E17) and the
 /// scaling sweeps (E1/E13) at a reduced size without editing the bench;
 /// each bench applies only the knobs that make sense for it.  Unknown
@@ -44,6 +49,7 @@ struct Args {
   std::uint64_t shards = 0;
   std::uint64_t flash_mb = 0;
   double zipf = 0.0;
+  std::uint64_t perturb = 0;
 
   /// `hosts` if set, else the bench's built-in default (same for the rest).
   std::uint64_t HostsOr(std::uint64_t def) const {
@@ -96,11 +102,18 @@ struct Args {
           std::fprintf(stderr, "invalid flag value: %s\n", arg.c_str());
           std::exit(2);
         }
+      } else if (arg.rfind("--perturb=", 0) == 0) {
+        args.perturb = parse_u64(arg, 10);
+        // Engines read NLSS_PERTURB at construction; exporting it here —
+        // before any bed exists — wires the knob into every engine the
+        // bench builds, including ones constructed in member-init lists
+        // where a later SetPerturbation call would miss setup events.
+        setenv("NLSS_PERTURB", std::to_string(args.perturb).c_str(), 1);
       } else {
         std::fprintf(stderr,
                      "usage: %s [--seed=<n>] [--json] [--hosts=<n>] "
                      "[--ops=<n>] [--files=<n>] [--shards=<n>] "
-                     "[--flash-mb=<n>] [--zipf=<t>]\n",
+                     "[--flash-mb=<n>] [--zipf=<t>] [--perturb=<n>]\n",
                      argv[0]);
         std::exit(2);
       }

@@ -7,9 +7,16 @@
 #include <memory>
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::cache {
 namespace {
+
+/// Race-detector key for a page: every NLSS_ACCESS in the cache layer keys
+/// on the page identity, the unit the directory protocol serializes on.
+inline std::uint64_t RaceKey(const PageKey& key) {
+  return PageKeyHash{}(key);
+}
 
 struct Join {
   Join(int n, std::function<void(bool)> done)
@@ -127,6 +134,12 @@ void CacheCluster::EnsureRoom(ControllerId ctrl) {
         const CacheNode::Frame* vf = cache.Find(*victim);
         if (vf != nullptr) tier_->OnCleanEvict(ctrl, *victim, vf->data);
       }
+      // Local frame lifecycle, keyed per controller: the victim was
+      // re-checked clean in THIS event (atomic), and a clean frame is
+      // never the sole copy, so erasing it commutes with directory-
+      // serialized content traffic on the page.  Only another touch of
+      // this controller's frame table for the page would conflict.
+      NLSS_ACCESS(kCache, check::AccessKey(ctrl, RaceKey(*victim)), kWrite);
       cache.Erase(*victim);
       EraseExtra(ctrl, *victim);
       ++ctrls_[ctrl]->stats.evictions;
@@ -314,6 +327,12 @@ void CacheCluster::FlushRun(ControllerId ctrl, std::vector<PageKey> run,
                      f->last_write.writer,
                      static_cast<unsigned long long>(f->last_write.seq));
     }
+    // The snapshot pins the frame (busy) and fixes which epoch this flush
+    // settles.  Epoch-guarded domain: a same-tick content write lands
+    // before the snapshot (flushed now) or after it (epoch bump → redo at
+    // settle) — both orders leave the same durable state.  Two snapshots
+    // of one page would be a real conflict and share this key.
+    NLSS_ACCESS(kCache, check::EpochGuardedKey(RaceKey(k)), kWrite);
     Extra(ctrl, k).flushing = true;
     f->busy = true;
     snaps->push_back(PageSnap{k, f->dirty_epoch, f->last_write});
@@ -364,6 +383,11 @@ void CacheCluster::FlushRun(ControllerId ctrl, std::vector<PageKey> run,
       std::vector<PageKey> redo;
       for (const PageSnap& s : *snaps) {
         const PageKey key = s.key;
+        // Epoch-guarded: the dirty_epoch check below re-validates the
+        // snapshot, so settling converges whether a same-tick content
+        // write runs before (redo) or after (re-dirty) this event.  Only
+        // a second GUARDED transition on the same page is a race.
+        NLSS_ACCESS(kCache, check::EpochGuardedKey(RaceKey(key)), kWrite);
         CacheNode::Frame* f = c.cache.Find(key);
         FrameExtra& ex = Extra(ctrl, key);
         ++c.stats.flushes;
@@ -887,6 +911,9 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
       obs::StartSpan(ctx, obs::Layer::kCache, "cache.page");
   CacheNode::Frame* f = c.cache.Find(key);
   if (f != nullptr) {
+    // Local hit serves the frame synchronously in this event; order vs any
+    // same-tick mutation of the page decides which data is returned.
+    NLSS_ACCESS(kCache, RaceKey(key), kRead);
     ++c.stats.local_hits;
     obs::Annotate(span, "local_hit");
     c.stats.bytes_served += config_.page_bytes;
@@ -913,6 +940,9 @@ void CacheCluster::ReadPage(ControllerId via, PageKey key,
       });
   Msg(via, home, config_.ctrl_msg_bytes,
       [this, via, home, key, priority, shared_cb, span] {
+        // GetS arrival at the home: this is where the directory decides the
+        // order of contending ops (AcquireEntry grants in arrival order).
+        NLSS_ACCESS(kCache, RaceKey(key), kRead);
         AcquireEntry(home, key, [this, via, key, priority, shared_cb, span] {
           HandleGetS(via, key, priority,
                      [shared_cb](bool ok, util::Bytes data) {
@@ -949,6 +979,9 @@ void CacheCluster::WritePage(ControllerId via, PageKey key,
   Msg(via, home, config_.ctrl_msg_bytes,
       [this, via, home, key, offset, replication, priority, shared_cb,
        shared_data, span, wid] {
+        // GetX arrival: a same-tick unrelated read or write of this page
+        // would see before- or after-image depending on queue order.
+        NLSS_ACCESS(kCache, RaceKey(key), kWrite);
         AcquireEntry(home, key,
                      [this, via, key, offset, replication, priority,
                       shared_cb, shared_data, span, wid] {
@@ -1079,6 +1112,7 @@ bool CacheCluster::StealCleanFrame(ControllerId ctrl, const PageKey& key,
   if (!c.alive) return false;
   CacheNode::Frame* f = c.cache.Find(key);
   if (f == nullptr || f->dirty || f->busy || f->is_replica) return false;
+  NLSS_ACCESS(kCache, RaceKey(key), kWrite);
   *out = std::move(f->data);
   c.cache.Erase(key);
   EraseExtra(ctrl, key);

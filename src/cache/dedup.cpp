@@ -3,8 +3,18 @@
 #include <utility>
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::cache {
+namespace {
+
+/// Race-detector key for a write id: contention is per logical write
+/// (original vs hedge copies, payload vs cancel).
+inline std::uint64_t RaceKey(const WriteId& id) {
+  return check::AccessKey(check::AccessKey(0xDED0ull, id.writer), id.seq);
+}
+
+}  // namespace
 
 void WriteDedupIndex::Prune(Writer& w) {
   const auto end = w.entries.lower_bound(w.settled);
@@ -30,9 +40,15 @@ bool WriteDedupIndex::Begin(const WriteId& id, Waiter waiter) {
   auto [it, inserted] = w.entries.try_emplace(id.seq);
   Entry& e = it->second;
   if (inserted) {
+    // First arrival claims the apply.  Outcome-dependent mode: the winning
+    // insert commutes with other winners (distinct seqs), while a same-tick
+    // duplicate records kRead below — a mixed pair is exactly the case
+    // where arrival order decided who applies.
+    NLSS_ACCESS(kCache, RaceKey(id), kCommute);
     ++stats_.applies;
     return true;
   }
+  NLSS_ACCESS(kCache, RaceKey(id), kRead);
   switch (e.state) {
     case State::kInFlight:
       // Original application still running somewhere in the cluster; ack
@@ -56,6 +72,7 @@ bool WriteDedupIndex::Begin(const WriteId& id, Waiter waiter) {
 
 void WriteDedupIndex::Complete(const WriteId& id, bool ok) {
   if (!id.valid()) return;
+  NLSS_ACCESS(kCache, RaceKey(id), kWrite);
   Writer& w = writers_[id.writer];
   const auto it = w.entries.find(id.seq);
   NLSS_INVARIANT(kCache, it != w.entries.end(),
@@ -97,6 +114,7 @@ void WriteDedupIndex::Complete(const WriteId& id, bool ok) {
 
 void WriteDedupIndex::Cancel(const WriteId& id) {
   if (!id.valid()) return;
+  NLSS_ACCESS(kCache, RaceKey(id), kWrite);
   ++stats_.cancels;
   Writer& w = writers_[id.writer];
   auto [it, inserted] = w.entries.try_emplace(id.seq);

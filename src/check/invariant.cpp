@@ -23,6 +23,8 @@ const char* SubsystemName(Subsystem s) {
       return "meta";
     case Subsystem::kTier:
       return "tier";
+    case Subsystem::kRace:
+      return "race";
     case Subsystem::kOther:
       return "other";
   }

@@ -46,9 +46,10 @@ enum class Subsystem : std::uint8_t {
   kRaid,   // rebuild: no chunk rebuilt or re-queued after completion
   kMeta,   // dentry coherence: no resolve served against a stale version
   kTier,   // tier placement: single location, in-flight moves, demote order
+  kRace,   // same-tick determinism races (check::RaceDetector conflicts)
   kOther,  // uncategorized (tests, one-off checks)
 };
-inline constexpr int kSubsystemCount = 8;
+inline constexpr int kSubsystemCount = 9;
 const char* SubsystemName(Subsystem s);
 
 /// Context handed to the violation handler.

@@ -1,0 +1,144 @@
+#include "check/race.h"
+
+#include <utility>
+
+namespace nlss::check {
+namespace {
+
+/// (R,R) and (C,C) are the only order-insensitive same-tick pairs.
+bool ModesConflict(AccessMode a, AccessMode b) {
+  if (a == AccessMode::kRead && b == AccessMode::kRead) return false;
+  if (a == AccessMode::kCommute && b == AccessMode::kCommute) return false;
+  return true;
+}
+
+// Bounds: distinct (event, mode) records kept per key per tick, and total
+// conflicts retained.  Both exist only to bound memory under a pathological
+// run; the default violation report aborts on the first conflict anyway.
+constexpr std::size_t kMaxAccessesPerKey = 32;
+constexpr std::size_t kMaxConflicts = 256;
+
+}  // namespace
+
+RaceDetector* RaceDetector::current_detector_ = nullptr;
+
+const char* AccessModeName(AccessMode m) {
+  switch (m) {
+    case AccessMode::kRead:
+      return "read";
+    case AccessMode::kWrite:
+      return "write";
+    case AccessMode::kCommute:
+      return "commute";
+  }
+  return "?";
+}
+
+void RaceDetector::BeginEvent(std::uint64_t id, std::uint64_t parent,
+                              std::uint64_t tick) {
+  ++events_;
+  if (!tick_valid_ || tick != tick_) {
+    // New tick: same-tick ordering questions reset wholesale.
+    tick_ = tick;
+    tick_valid_ = true;
+    parents_.clear();
+    table_.clear();
+  }
+  parents_.emplace(id, parent);
+  current_ = id;
+}
+
+void RaceDetector::Record(Subsystem s, std::uint64_t key, AccessMode mode,
+                          const char* file, int line) {
+  RaceDetector* d = current_detector_;
+  // Outside any event the access order is fixed by program text (set-up
+  // code between Run() calls), so only event-context accesses matter.
+  if (d == nullptr || d->current_ == 0) return;
+  d->RecordImpl(s, key, mode, file, line);
+}
+
+bool RaceDetector::IsAncestor(std::uint64_t a, std::uint64_t e) const {
+  // Walk e's parent chain while it stays within the current tick.  An
+  // ancestor that executed at an earlier tick is not in parents_ — but then
+  // it cannot have a same-tick access record either, so stopping is sound.
+  std::uint64_t cur = e;
+  while (true) {
+    const auto it = parents_.find(cur);
+    if (it == parents_.end()) return false;
+    cur = it->second;
+    if (cur == a) return true;
+    if (cur == 0) return false;  // reached the external (non-event) root
+  }
+}
+
+void RaceDetector::RecordImpl(Subsystem s, std::uint64_t key, AccessMode mode,
+                              const char* file, int line) {
+  ++accesses_;
+  const std::uint64_t combined =
+      AccessKey(static_cast<std::uint64_t>(s) + 1, key);
+  KeyState& ks = table_[combined];
+  for (const Access& a : ks.accs) {
+    if (a.event == current_ && a.mode == mode) return;  // duplicate record
+  }
+  const Access me{current_, mode, file, line};
+  for (const Access& a : ks.accs) {
+    if (a.event == current_) continue;  // one callback is internally ordered
+    if (!ModesConflict(a.mode, mode)) continue;
+    if (IsAncestor(a.event, current_)) continue;  // causally ordered pair
+    // `a.event` finished before `current_` began (events never nest), so
+    // `current_` cannot be its ancestor: this pair is causally unrelated.
+    if (conflicts_.size() < kMaxConflicts) {
+      conflicts_.push_back(Conflict{s, key, tick_, a, me});
+    }
+    if (report_violations_) {
+      Violation v;
+      v.subsystem = Subsystem::kRace;
+      v.file = file;
+      v.line = line;
+      v.expr = "NLSS_ACCESS same-tick conflict";
+      v.message = Describe(Conflict{s, key, tick_, a, me});
+      Registry::Instance().Report(v);
+    }
+  }
+  if (ks.accs.size() < kMaxAccessesPerKey) ks.accs.push_back(me);
+}
+
+void RaceDetector::Reset() {
+  current_ = 0;
+  tick_ = 0;
+  tick_valid_ = false;
+  parents_.clear();
+  table_.clear();
+  conflicts_.clear();
+  accesses_ = 0;
+  events_ = 0;
+}
+
+std::string RaceDetector::Describe(const Conflict& c) {
+  std::string out = "same-tick race [";
+  out += SubsystemName(c.subsystem);
+  out += "] key=";
+  out += std::to_string(c.key);
+  out += " tick=";
+  out += std::to_string(c.tick);
+  out += ": event ";
+  out += std::to_string(c.prior.event);
+  out += " ";
+  out += AccessModeName(c.prior.mode);
+  out += " at ";
+  out += c.prior.file;
+  out += ":";
+  out += std::to_string(c.prior.line);
+  out += " vs event ";
+  out += std::to_string(c.later.event);
+  out += " ";
+  out += AccessModeName(c.later.mode);
+  out += " at ";
+  out += c.later.file;
+  out += ":";
+  out += std::to_string(c.later.line);
+  out += " (causally unrelated; queue order decides)";
+  return out;
+}
+
+}  // namespace nlss::check

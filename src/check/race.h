@@ -1,0 +1,187 @@
+// Dynamic same-tick race detection for the deterministic DES.
+//
+// Every digest gate in this repo (two-run digest tests, the E-series bench
+// digests) rests on one property: the observable outcome of a run must not
+// depend on the FIFO insertion order of events scheduled at the same
+// simulated tick.  Events that are causally ordered (event A scheduled
+// event B, directly or transitively) can never be reordered by the queue —
+// a child is created only while its ancestor executes.  Everything else
+// that lands on the same tick is ordered purely by the scheduler's
+// tie-break, which is exactly the order a calendar-queue / arena rewrite of
+// the DES kernel (ROADMAP) will change.
+//
+// The RaceDetector makes that property checkable:
+//
+//   - sim::Engine assigns every event a causal id and reports
+//     (id, parent id, tick) when the event starts executing.
+//   - Instrumented subsystems tag shared-state accesses with
+//     NLSS_ACCESS(subsystem, key, mode) — compiled out under NDEBUG,
+//     exactly like NLSS_INVARIANT.
+//   - Two same-tick accesses to the same (subsystem, key) from events where
+//     NEITHER is an ancestor of the other conflict when their modes do:
+//
+//         kRead    observes the state; order vs any mutation matters.
+//         kWrite   order-sensitive mutation (assignment, FIFO push, ...).
+//         kCommute order-INsensitive mutation: the final state and every
+//                  observable side effect are identical under any
+//                  interleaving of same-tick kCommute updates (counter
+//                  increments, inserts keyed by stable ids, idempotent
+//                  absorb of a duplicate write).  A kCommute still
+//                  conflicts with a kRead (the read would observe an
+//                  intermediate state) and with a kWrite.
+//
+//     conflict matrix:      Read   Write  Commute
+//              Read          -      X       X
+//              Write         X      X       X
+//              Commute       X      X       -
+//
+// A conflict is precisely the condition under which the schedule
+// perturbation mode (sim::Engine, NLSS_PERTURB) can flip a digest, so the
+// detector and the perturbation harness validate each other: a clean
+// detector run predicts digest stability, and a flipped digest implies a
+// missed tag.
+//
+// Accesses made outside any event (test set-up code between Run() calls)
+// are ignored: their order relative to the event stream is fixed by program
+// text, not by the queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/invariant.h"
+
+namespace nlss::check {
+
+enum class AccessMode : std::uint8_t { kRead, kWrite, kCommute };
+const char* AccessModeName(AccessMode m);
+
+class RaceDetector {
+ public:
+  /// One side of a recorded access (site + event attribution).
+  struct Access {
+    std::uint64_t event = 0;
+    AccessMode mode = AccessMode::kRead;
+    const char* file = "";
+    int line = 0;
+  };
+
+  /// A same-tick pair of conflicting accesses from causally unrelated
+  /// events.  `prior` executed (or at least accessed) first in this run's
+  /// order; under another same-tick permutation `later` could precede it.
+  struct Conflict {
+    Subsystem subsystem = Subsystem::kOther;
+    std::uint64_t key = 0;
+    std::uint64_t tick = 0;
+    Access prior;
+    Access later;
+  };
+
+  /// When true (default), each new conflict is also reported through
+  /// check::Registry as a kRace violation — aborting the process unless a
+  /// handler is installed, which is how the CI suite fails on any race.
+  /// Tests that enumerate conflicts() can turn it off.
+  void set_report_violations(bool on) { report_violations_ = on; }
+
+  // --- Engine-side hooks ----------------------------------------------------
+  /// `id` starts executing at `tick`; it was scheduled by event `parent`
+  /// (0 = scheduled from outside any event).
+  void BeginEvent(std::uint64_t id, std::uint64_t parent, std::uint64_t tick);
+  void EndEvent() { current_ = 0; }
+
+  /// Detector the currently executing engine exposes to NLSS_ACCESS (null
+  /// when detection is off).  Managed by sim::Engine around each event.
+  static RaceDetector* Current() { return current_detector_; }
+  static RaceDetector* SetCurrent(RaceDetector* d) {
+    RaceDetector* prev = current_detector_;
+    current_detector_ = d;
+    return prev;
+  }
+
+  /// NLSS_ACCESS entry point: attribute an access to the currently
+  /// executing event of the current detector (no-op outside events or when
+  /// no detector is attached).
+  static void Record(Subsystem s, std::uint64_t key, AccessMode mode,
+                     const char* file, int line);
+
+  // --- Results --------------------------------------------------------------
+  const std::vector<Conflict>& conflicts() const { return conflicts_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t events() const { return events_; }
+  /// Drop all recorded state (conflicts, per-tick tables, counters).
+  void Reset();
+
+  static std::string Describe(const Conflict& c);
+
+ private:
+  void RecordImpl(Subsystem s, std::uint64_t key, AccessMode mode,
+                  const char* file, int line);
+  bool IsAncestor(std::uint64_t a, std::uint64_t e) const;
+
+  struct KeyState {
+    // All distinct (event, mode) access records for this key at this tick
+    // (bounded; duplicates of an already-recorded pair are dropped).
+    std::vector<Access> accs;
+  };
+
+  static RaceDetector* current_detector_;
+
+  std::uint64_t current_ = 0;  // executing event id (0 = none)
+  std::uint64_t tick_ = 0;     // tick the per-tick tables describe
+  bool tick_valid_ = false;
+  // parent chain of every event that has executed at tick_ (id -> parent).
+  std::unordered_map<std::uint64_t, std::uint64_t> parents_;
+  // (subsystem, key) -> accesses at tick_.  Key mixes the subsystem in.
+  std::unordered_map<std::uint64_t, KeyState> table_;
+  std::vector<Conflict> conflicts_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t events_ = 0;
+  bool report_violations_ = true;
+};
+
+}  // namespace nlss::check
+
+#if NLSS_INVARIANTS_ENABLED
+/// NLSS_ACCESS(kCache, key, kWrite) — tag an access to shared mutable
+/// state with the page/queue/entry it touches.  `subsystem` is a bare
+/// check::Subsystem enumerator, `key` anything convertible to uint64 (hash
+/// composite keys with check::AccessKey), `mode` a bare AccessMode
+/// enumerator.  Compiles out under NDEBUG.
+#define NLSS_ACCESS(subsystem, key, mode)                                   \
+  ::nlss::check::RaceDetector::Record(                                      \
+      ::nlss::check::Subsystem::subsystem,                                  \
+      static_cast<std::uint64_t>(key), ::nlss::check::AccessMode::mode,     \
+      __FILE__, __LINE__)
+#else
+#define NLSS_ACCESS(subsystem, key, mode) \
+  do {                                    \
+  } while (0)
+#endif
+
+namespace nlss::check {
+/// Mix two id components into one access key (order-sensitive mix, so
+/// AccessKey(a, b) != AccessKey(b, a) in general).
+inline constexpr std::uint64_t AccessKey(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ULL + b;
+  x ^= x >> 32;
+  x *= 0xD6E8FEB86659FD93ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+/// Race domain for epoch/sequence-GUARDED transitions on an object whose
+/// content accesses are tracked under the plain key.  A guarded transition
+/// (flush settle checking `dirty_epoch`, demote completion checking
+/// `seq`) re-validates its snapshot before acting, so it converges to the
+/// same final state whether it runs before or after a same-tick content
+/// write — the guard IS the adjudication.  Keying it separately keeps
+/// guarded-vs-guarded conflicts detectable (two settles releasing the same
+/// replicas would be a real bug) without flagging the proven-tolerant
+/// guarded-vs-content pair.  Use ONLY where the guard check is in the same
+/// event as the access; see DESIGN.md "Determinism model".
+inline constexpr std::uint64_t EpochGuardedKey(std::uint64_t key) {
+  return AccessKey(key, 0xE90C46A2DULL);  // 'epoch-guard' domain salt
+}
+}  // namespace nlss::check

@@ -268,18 +268,18 @@ void StorageSystem::AttachObs(obs::Hub* hub) {
   m.AddCallback("nlss_qos_ops_total", "Ops completed through QoS admission",
                 [this] {
                   if (qos_ == nullptr) return 0.0;
-                  double n = 0;
-                  for (const auto& [t, s] : qos_->slo().all()) n += double(s.ops);
-                  return n;
+                  std::uint64_t n = 0;  // exact: FP sums are order-sensitive
+                  for (const auto& [t, s] : qos_->slo().all()) n += s.ops;
+                  return double(n);
                 });
   m.AddCallback("nlss_qos_rejected_total", "Admission-control rejections",
                 [this] {
                   if (qos_ == nullptr) return 0.0;
-                  double n = 0;
+                  std::uint64_t n = 0;
                   for (const auto& [t, s] : qos_->slo().all()) {
-                    n += double(s.rejected);
+                    n += s.rejected;
                   }
-                  return n;
+                  return double(n);
                 });
   RegisterQosMetrics();
 }

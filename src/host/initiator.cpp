@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::host {
 
@@ -346,6 +347,7 @@ void Initiator::HandleFailure(const OpPtr& op, int failed_path) {
 
 void Initiator::FinishOp(const OpPtr& op, bool ok, util::Bytes data) {
   if (op->done) return;
+  NLSS_ACCESS(kHost, op->id, kWrite);
   NLSS_INVARIANT(kHost, !op->callback_fired,
                  "op %llu completing a second time",
                  static_cast<unsigned long long>(op->id));
@@ -408,6 +410,10 @@ void Initiator::MarkPathDown(int path) {
     ++stats_.path_down_redrives;
     op->redrive_pending = true;
     engine_.Schedule(0, [this, op, path] {
+      // Same-tick chain racing the op's completion events: which side runs
+      // first decides suppressed-redrive vs failover accounting, so both
+      // outcomes write op state for the detector to adjudicate.
+      NLSS_ACCESS(kHost, op->id, kWrite);
       if (op->done) {
         ++stats_.suppressed_redrives;
         return;

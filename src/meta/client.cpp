@@ -1,6 +1,7 @@
 #include "meta/client.h"
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::meta {
 
@@ -21,6 +22,17 @@ Client::Client(MetaService& service, std::string name, ClientConfig config)
 }
 
 Client::~Client() { service_.UnregisterClient(this); }
+
+std::uint64_t Client::RaceKey(DirId dir) const {
+  // FNV-1a of the client name: a stable per-client salt with no pointer
+  // identity in it (pointer-derived keys would not be run-reproducible).
+  std::uint64_t salt = 0xcbf29ce484222325ull;
+  for (const char c : name_) {
+    salt ^= static_cast<unsigned char>(c);
+    salt *= 0x100000001b3ull;
+  }
+  return check::AccessKey(salt, dir);
+}
 
 void Client::Resolve(const std::string& path, MetaService::ResolveCallback cb,
                      obs::TraceContext ctx) {
@@ -75,6 +87,7 @@ void Client::Resolve(const std::string& path, MetaService::ResolveCallback cb,
           return;
         }
         for (const auto& [dir, ver] : it2->second.chain) {
+          NLSS_ACCESS(kMeta, RaceKey(dir), kRead);
           const std::uint64_t now_ver = service_.DirVersion(dir);
           NLSS_INVARIANT(kMeta, now_ver == ver,
                          "stale dentry served for %s: dir %llu at v%llu, "
@@ -100,6 +113,11 @@ void Client::BeginWalk(std::shared_ptr<std::vector<std::string>> parts,
     const std::string prefix = JoinPath(*parts, n);
     const auto it = cache_.find(prefix);
     if (it != cache_.end() && it->second.dentry.is_dir) {
+#if NLSS_INVARIANTS_ENABLED
+      for (const auto& [d, ver] : it->second.chain) {
+        NLSS_ACCESS(kMeta, RaceKey(d), kRead);
+      }
+#endif
       start = n;
       dir = it->second.dentry.ino;
       *chain = it->second.chain;  // ancestor's chain prefixes ours
@@ -257,6 +275,15 @@ void Client::InsertEntry(const std::string& path, Entry entry) {
   for (const auto& [dir, ver] : entry.chain) {
     if (service_.DirVersion(dir) != ver) return;
   }
+  // Validated insert commutes with same-tick peers (distinct paths, stable
+  // LRU stamps) but not with an invalidation of any chain directory: that
+  // pair settles to the same cache state either way, yet the drop counters
+  // — and so the digest — depend on which ran first.
+#if NLSS_INVARIANTS_ENABLED
+  for (const auto& [dir, ver] : entry.chain) {
+    NLSS_ACCESS(kMeta, RaceKey(dir), kCommute);
+  }
+#endif
   RemoveEntry(path, nullptr);
   entry.lru = ++lru_clock_;
   lru_order_[entry.lru] = path;
@@ -290,6 +317,7 @@ void Client::TouchLru(const std::string& path, Entry& entry) {
 }
 
 void Client::OnDirectoryInvalidate(DirId dir, std::uint64_t /*version*/) {
+  NLSS_ACCESS(kMeta, RaceKey(dir), kWrite);
   ++stats_.invalidations;
   // The root copy mirrors "/" in full; any root mutation stales it.  (A
   // pending fetch is left alone — its version stamp is re-validated at

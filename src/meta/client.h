@@ -125,6 +125,10 @@ class Client {
   void InsertEntry(const std::string& path, Entry entry);
   void RemoveEntry(const std::string& path, std::uint64_t* counter);
   void TouchLru(const std::string& path, Entry& entry);
+  /// Race-detector key for this client's cached state about `dir`: each
+  /// host cache is independent state, so the key is salted per client
+  /// (deterministically, from the client's name).
+  std::uint64_t RaceKey(DirId dir) const;
 
   MetaService& service_;
   std::string name_;

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "check/invariant.h"
+#include "check/race.h"
 #include "meta/client.h"
 
 namespace nlss::meta {
@@ -154,9 +155,10 @@ void MetaService::InvalidateGone(DirId dir) {
 
 // --- Shard visits -------------------------------------------------------------
 
-void MetaService::Visit(ShardId shard, MetaShard::OpClass klass,
+void MetaService::Visit(DirId dir, MetaShard::OpClass klass,
                         sim::Tick cost_ns, std::function<void()> apply,
                         std::function<void()> reply, obs::TraceContext parent) {
+  const ShardId shard = ShardOf(dir);
   obs::TraceContext span =
       obs::StartSpan(parent, obs::Layer::kMeta, "meta.shard");
   if (span.sampled()) {
@@ -175,9 +177,22 @@ void MetaService::Visit(ShardId shard, MetaShard::OpClass klass,
       });
     });
   };
-  // One fabric hop to reach the shard's blade, then admission.
+  // One fabric hop to reach the shard's blade, then admission.  Arrival
+  // order here is what the shard's strict FIFO service preserves, so this
+  // event carries the access tag: a same-tick unrelated mutation and
+  // lookup of one directory would resolve before- or after-image by queue
+  // order alone.
+  const bool mutation = klass == MetaShard::OpClass::kMutation;
   engine_.Schedule(config_.hop_ns,
-                   [this, shard, serve = std::move(serve), span]() {
+                   [this, shard, dir, mutation, serve = std::move(serve),
+                    span]() {
+                     if (mutation) {
+                       NLSS_ACCESS(kMeta, check::AccessKey(0xD1Eull, dir),
+                                   kWrite);
+                     } else {
+                       NLSS_ACCESS(kMeta, check::AccessKey(0xD1Eull, dir),
+                                   kRead);
+                     }
                      SubmitToBlade(shard, std::move(serve), span);
                    });
 }
@@ -207,7 +222,7 @@ void MetaService::LookupStep(DirId dir, const std::string& name,
   auto result = std::make_shared<std::tuple<Status, Dentry, std::uint64_t>>(
       Status::kNotFound, Dentry{}, 0);
   Visit(
-      ShardOf(dir), MetaShard::OpClass::kLookup, config_.lookup_cost_ns,
+      dir, MetaShard::OpClass::kLookup, config_.lookup_cost_ns,
       [this, dir, name, result]() {
         Directory* d = FindDir(dir);
         if (d == nullptr) return;  // stays kNotFound, version 0
@@ -236,7 +251,7 @@ void MetaService::DelegateDirectory(DirId dir, DelegateCallback cb,
                                   std::uint64_t>>(
           Status::kNotFound, std::map<std::string, Dentry>{}, 0);
   Visit(
-      ShardOf(dir), MetaShard::OpClass::kScan,
+      dir, MetaShard::OpClass::kScan,
       config_.scan_cost_ns +
           config_.scan_entry_cost_ns * static_cast<sim::Tick>(approx),
       [this, dir, result]() {
@@ -348,7 +363,7 @@ void MetaService::Mkdir(const std::string& path, StatusCallback cb,
         }
         auto result = std::make_shared<Status>(Status::kNotFound);
         Visit(
-            ShardOf(parent), MetaShard::OpClass::kMutation,
+            parent, MetaShard::OpClass::kMutation,
             config_.mutate_cost_ns,
             [this, parent, leaf = parts->back(), result]() {
               Directory* p = FindDir(parent);
@@ -394,7 +409,7 @@ void MetaService::Create(const std::string& path, CreateCallback cb,
         auto result = std::make_shared<std::pair<Status, Ino>>(
             Status::kNotFound, 0);
         Visit(
-            ShardOf(parent), MetaShard::OpClass::kMutation,
+            parent, MetaShard::OpClass::kMutation,
             config_.mutate_cost_ns,
             [this, parent, leaf = parts->back(), result]() {
               Directory* p = FindDir(parent);
@@ -437,7 +452,7 @@ void MetaService::Unlink(const std::string& path, StatusCallback cb,
         }
         auto result = std::make_shared<Status>(Status::kNotFound);
         Visit(
-            ShardOf(parent), MetaShard::OpClass::kMutation,
+            parent, MetaShard::OpClass::kMutation,
             config_.mutate_cost_ns,
             [this, parent, leaf = parts->back(), result]() {
               Directory* p = FindDir(parent);
@@ -481,7 +496,7 @@ void MetaService::Rmdir(const std::string& path, StatusCallback cb,
         }
         auto result = std::make_shared<Status>(Status::kNotFound);
         Visit(
-            ShardOf(parent), MetaShard::OpClass::kMutation,
+            parent, MetaShard::OpClass::kMutation,
             config_.mutate_cost_ns,
             [this, parent, leaf = parts->back(), result]() {
               Directory* p = FindDir(parent);
@@ -552,7 +567,7 @@ void MetaService::Rename(const std::string& from, const std::string& to,
               }
               auto result = std::make_shared<Status>(Status::kNotFound);
               Visit(
-                  ShardOf(from_parent), MetaShard::OpClass::kMutation,
+                  from_parent, MetaShard::OpClass::kMutation,
                   config_.mutate_cost_ns,
                   [this, from_parent, to_parent,
                    from_leaf = from_parts->back(),
@@ -626,7 +641,7 @@ void MetaService::RangeScan(const std::string& path, const std::string& from,
         std::pair<Status, std::vector<std::pair<std::string, Dentry>>>>();
     result->first = Status::kNotFound;
     Visit(
-        ShardOf(dir), MetaShard::OpClass::kScan,
+        dir, MetaShard::OpClass::kScan,
         config_.scan_cost_ns +
             config_.scan_entry_cost_ns * static_cast<sim::Tick>(billed),
         [this, dir, from, limit, result]() {

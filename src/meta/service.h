@@ -193,10 +193,13 @@ class MetaService {
   Directory* FindDir(DirId dir);
   const Directory* FindDir(DirId dir) const;
 
-  /// Charge one shard visit: hop out, queue + service on the shard
-  /// (through QoS admission when attached), run `apply` at service time
-  /// (shard state is only read/written here), hop back, then `reply`.
-  void Visit(ShardId shard, MetaShard::OpClass klass, sim::Tick cost_ns,
+  /// Charge one shard visit against `dir`'s shard: hop out, queue +
+  /// service on the shard (through QoS admission when attached), run
+  /// `apply` at service time (shard state is only read/written here), hop
+  /// back, then `reply`.  The hop-arrival event is the contention point —
+  /// the shard executes ops strictly in arrival order — so it carries the
+  /// race-detector access tag, keyed by directory.
+  void Visit(DirId dir, MetaShard::OpClass klass, sim::Tick cost_ns,
              std::function<void()> apply, std::function<void()> reply,
              obs::TraceContext span);
 

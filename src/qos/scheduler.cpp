@@ -5,8 +5,27 @@
 #include <memory>
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::qos {
+namespace {
+
+// Race-detector keys.  Admission contends per blade queue; hedge budget
+// contends per tenant bucket.  Outcome-dependent modes: an accepted
+// submit / granted hedge records kCommute (same-outcome peers commute —
+// stable-tag heap insert, token decrement with budget to spare), a
+// refusal records kRead (it observed the boundary and mutated nothing).
+// A mixed same-tick pair is precisely an order-decided boundary: who got
+// the last queue slot / the last hedge token.  Ordering *within* the WFQ
+// heap is timing, not state, and is covered by the perturbation digests.
+inline std::uint64_t BladeKey(std::uint32_t blade) {
+  return check::AccessKey(0x0B1Dull, blade);
+}
+inline std::uint64_t HedgeKey(TenantId tenant) {
+  return check::AccessKey(0x4ED6ull, tenant);
+}
+
+}  // namespace
 
 Scheduler::Scheduler(sim::Engine& engine, TenantRegistry& registry,
                      std::uint32_t blades, Config config)
@@ -48,6 +67,7 @@ bool Scheduler::TryHedge(std::uint32_t blade, TenantId tenant) {
   // A hedge is a duplicate of work already admitted; unlike the byte
   // bucket, a zero hedge rate means the class may not hedge at all.
   if (spec.hedge_rate_per_sec == 0) {
+    // Static config, not a contended boundary: no access tag.
     slo_.OnHedge(t.id, false);
     return false;
   }
@@ -55,15 +75,18 @@ bool Scheduler::TryHedge(std::uint32_t blade, TenantId tenant) {
   // speculative duplicates only deepen the backlog firm requests are
   // already waiting in.
   if (b.queue.size() * 2 >= config_.max_queue_per_blade) {
+    NLSS_ACCESS(kQos, BladeKey(blade), kRead);
     slo_.OnHedge(t.id, false);
     return false;
   }
   const sim::Tick now = engine_.now();
   TokenBucket& bucket = HedgeBucketFor(t.id);
   if (!bucket.TryTake(1, now)) {
+    NLSS_ACCESS(kQos, HedgeKey(t.id), kRead);
     slo_.OnHedge(t.id, false);
     return false;
   }
+  NLSS_ACCESS(kQos, HedgeKey(t.id), kCommute);
   // Hedge spend never exceeds budget: a grant cannot overdraw the bucket
   // (cost 1 <= hedge_burst, and TryTake refuses when ineligible).
   NLSS_INVARIANT(kQos, bucket.BalanceAt(now) >= -1,
@@ -80,9 +103,16 @@ bool Scheduler::Submit(std::uint32_t blade, TenantId tenant,
   const ClassSpec& spec = registry_.spec(t.cls);
   if (b.queue.size() >= config_.max_queue_per_blade ||
       b.queue.TenantDepth(t.id) >= spec.max_queue_depth) {
+    // At a full queue, WHICH same-tick submit waits is arbitrary by
+    // design: every refusal hands the op back to a caller that owns the
+    // retry (the unchecked-status lint forbids discarding this bool), so
+    // either order converges.  Commute, not read — the admission margin
+    // is capacity arbitration, not state observation.
+    NLSS_ACCESS(kQos, BladeKey(blade), kCommute);
     slo_.OnReject(t.id);
     return false;
   }
+  NLSS_ACCESS(kQos, BladeKey(blade), kCommute);
   QueuedOp op;
   op.tenant = t.id;
   op.cost = cost_bytes;

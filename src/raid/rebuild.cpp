@@ -56,6 +56,11 @@ void RebuildEngine::Dispatch() {
   // onto the first job submitted.
   if (dispatch_pending_) return;
   dispatch_pending_ = true;
+  // Order-tolerant coalescer: a same-tick Dispatch() either sees the flag
+  // and folds into this pass, or re-arms a second pass in the same tick;
+  // DoDispatch assigns from full jobs_/workers_ state either way, so every
+  // interleaving converges to the same placement.
+  // nlss-lint: allow(same-tick-chain)
   engine_.Schedule(0, [this] {
     dispatch_pending_ = false;
     DoDispatch();

@@ -1,18 +1,68 @@
 #include "sim/engine.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
-#include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::sim {
+namespace {
+
+/// splitmix64 finalizer: a bijection of seq for any fixed seed, so same-tick
+/// priorities stay distinct and a given seed yields one fixed permutation.
+std::uint64_t PerturbKey(std::uint64_t seed, std::uint64_t seq) {
+  std::uint64_t x = seq + seed * 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t EnvU64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+Engine::Engine() {
+  perturb_seed_ = EnvU64("NLSS_PERTURB");
+#if NLSS_INVARIANTS_ENABLED
+  if (EnvU64("NLSS_RACE") != 0) {
+    owned_race_ = std::make_unique<check::RaceDetector>();
+    race_ = owned_race_.get();
+  }
+#endif
+}
+
+Engine::~Engine() = default;
+
+void Engine::AttachRaceDetector(check::RaceDetector* d) {
+#if NLSS_INVARIANTS_ENABLED
+  race_ = d != nullptr ? d : owned_race_.get();
+#else
+  (void)d;
+#endif
+}
 
 void Engine::ScheduleAt(Tick when, Callback cb) {
   NLSS_INVARIANT(kSim, when >= now_,
                  "scheduling into the past: when=%llu now=%llu",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
-  queue_.push(Item{when, next_seq_++, std::move(cb)});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t pri =
+      perturb_seed_ != 0 ? PerturbKey(perturb_seed_, seq) : seq;
+  Item item{when, seq, pri, std::move(cb)};
+#if NLSS_INVARIANTS_ENABLED
+  item.id = seq + 1;  // 1-based: 0 is the external (non-event) context
+  item.parent = current_event_;
+#endif
+  queue_.push(std::move(item));
 }
 
 void Engine::Execute(Item& item) {
@@ -22,7 +72,22 @@ void Engine::Execute(Item& item) {
                  static_cast<unsigned long long>(now_));
   now_ = item.when;
   ++executed_;
+#if NLSS_INVARIANTS_ENABLED
+  current_event_ = item.id;
+  check::RaceDetector* prev = nullptr;
+  if (race_ != nullptr) {
+    race_->BeginEvent(item.id, item.parent, item.when);
+    prev = check::RaceDetector::SetCurrent(race_);
+  }
   item.cb();
+  if (race_ != nullptr) {
+    race_->EndEvent();
+    check::RaceDetector::SetCurrent(prev);
+  }
+  current_event_ = 0;
+#else
+  item.cb();
+#endif
 }
 
 void Engine::Run() {

@@ -4,12 +4,41 @@
 // controller compute, WAN latency — runs as events on one Engine.  Events at
 // the same tick execute in scheduling order (FIFO), which makes every run
 // bit-reproducible from the workload seed.
+//
+// Two determinism-checking hooks (ISSUE 9):
+//
+//   Schedule perturbation.  FIFO order among same-tick events is an
+//   arbitrary tie-break; correct code must not depend on it (same-tick
+//   events from different causal chains must commute).  With a nonzero
+//   perturbation seed (SetPerturbation / the NLSS_PERTURB env var) the
+//   tie-break becomes a seeded permutation of the FIFO order: each event's
+//   sequence number is passed through a splitmix64 keyed by the seed, so
+//   two runs with the same seed are still bit-identical, while two runs
+//   with different seeds execute same-tick events in different orders.
+//   A digest that changes across perturbation seeds is a determinism bug.
+//   Causal order is preserved by construction: a child event is inserted
+//   only while its parent executes, so it can never run before the parent.
+//
+//   Race detection.  When compiled with invariants (Debug, or
+//   -DNLSS_INVARIANTS=ON) the engine threads per-event causal ids
+//   (parent event -> scheduled child) into an attached check::RaceDetector,
+//   which flags same-tick accesses to the same state key from causally
+//   unrelated events (see src/check/race.h).  Attach explicitly with
+//   AttachRaceDetector, or export NLSS_RACE=1 to have every engine carry
+//   its own detector.  Compiles out entirely under NDEBUG.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
+
+#include "check/invariant.h"
+
+namespace nlss::check {
+class RaceDetector;
+}  // namespace nlss::check
 
 namespace nlss::sim {
 
@@ -19,6 +48,11 @@ using Tick = std::uint64_t;
 class Engine {
  public:
   using Callback = std::function<void()>;
+
+  /// Reads NLSS_PERTURB (same-tick permutation seed, 0/unset = FIFO) and —
+  /// with invariants compiled in — NLSS_RACE (attach an owned detector).
+  Engine();
+  ~Engine();
 
   Tick now() const { return now_; }
 
@@ -48,15 +82,33 @@ class Engine {
   std::size_t PendingEvents() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Same-tick schedule perturbation: 0 restores FIFO, any other value
+  /// permutes the same-tick tie-break with that seed.  Applies to events
+  /// scheduled after the call; existing queue entries keep their keys.
+  void SetPerturbation(std::uint64_t seed) { perturb_seed_ = seed; }
+  std::uint64_t perturbation() const { return perturb_seed_; }
+
+  /// Attach a race detector (not owned).  Null reverts to the NLSS_RACE
+  /// env-attached detector when one exists, else detaches.  No-op (and
+  /// never fires) when invariants are compiled out.
+  void AttachRaceDetector(check::RaceDetector* d);
+  check::RaceDetector* race_detector() const { return race_; }
+
  private:
   struct Item {
     Tick when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-tick events
+    std::uint64_t seq;  // FIFO tie-breaker and stable id of insertion order
+    std::uint64_t pri;  // same-tick order key: seq, or its seeded mix
     Callback cb;
+#if NLSS_INVARIANTS_ENABLED
+    std::uint64_t id = 0;      // causal id (1-based; 0 = external context)
+    std::uint64_t parent = 0;  // causal id of the scheduling event
+#endif
   };
   struct Later {
     bool operator()(const Item& a, const Item& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.pri != b.pri) return a.pri > b.pri;
       return a.seq > b.seq;
     }
   };
@@ -68,6 +120,12 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  std::uint64_t perturb_seed_ = 0;
+  check::RaceDetector* race_ = nullptr;
+  std::unique_ptr<check::RaceDetector> owned_race_;
+#if NLSS_INVARIANTS_ENABLED
+  std::uint64_t current_event_ = 0;  // causal id of the executing event
+#endif
 };
 
 }  // namespace nlss::sim

@@ -6,10 +6,17 @@
 #include <utility>
 
 #include "check/invariant.h"
+#include "check/race.h"
 
 namespace nlss::tier {
 
 namespace {
+
+/// Race-detector key for a page's tier placement (flash entry, loc index,
+/// tracked heat) — one key per page, same unit EraseEntry/StageSpill move.
+inline std::uint64_t RaceKey(const cache::PageKey& key) {
+  return check::AccessKey(0x71E4ull, cache::PageKeyHash{}(key));
+}
 
 /// Join: fires `done(all_ok)` once `expect` arrivals land.
 struct Join {
@@ -76,6 +83,7 @@ void TierManager::EraseEntry(cache::ControllerId holder,
   Lane& lane = LaneOf(holder);
   const auto eit = lane.flash.find(key);
   if (eit == lane.flash.end()) return;
+  NLSS_ACCESS(kTier, RaceKey(key), kWrite);
   Entry& e = eit->second;
   // Joined readers must not be dropped with the entry: serve them with the
   // data that was current when the entry went away.
@@ -100,6 +108,9 @@ bool TierManager::MakeRoom(cache::ControllerId ctrl, std::uint64_t need) {
   std::vector<std::pair<std::uint32_t, cache::PageKey>> candidates;
   for (const auto& [key, e] : lane.flash) {
     if (e.dirty || e.state != EntryState::kReady) continue;
+    // Victim ranking reads each candidate's heat: a same-tick unrelated
+    // heat bump would change the sort, and with it which page is dropped.
+    NLSS_ACCESS(kTier, RaceKey(key), kRead);
     candidates.emplace_back(heat_.HeatOf(key), key);
   }
   if (candidates.size() < need) return false;
@@ -134,6 +145,8 @@ bool TierManager::TierRead(cache::ControllerId ctrl, const cache::PageKey& key,
     engine_.Schedule(0, [cb = std::move(cb)] { cb(false, {}); });
     return true;
   }
+  NLSS_ACCESS(kTier, RaceKey(key), kRead);     // entry state drives the serve
+  NLSS_ACCESS(kTier, RaceKey(key), kCommute);  // heat bump commutes
   heat_.Touch(key);
   ++stats_.flash_hits;
   if (e->state == EntryState::kStaging) {
@@ -242,6 +255,7 @@ bool TierManager::TierWriteBack(cache::ControllerId ctrl,
                      static_cast<unsigned long long>(s.wid.writer),
                      static_cast<unsigned long long>(s.wid.seq));
     }
+    NLSS_ACCESS(kTier, RaceKey(s.key), kWrite);
     Entry& e = lane.flash[s.key];
     loc_[s.key] = ctrl;
     e.data.assign(data.begin() + i * page_bytes,
@@ -268,6 +282,7 @@ bool TierManager::TierWriteBack(cache::ControllerId ctrl,
     for (const auto& [key, seq] : absorbed) {
       const auto eit = l.flash.find(key);
       if (eit == l.flash.end()) continue;  // moved/erased while in flight
+      NLSS_ACCESS(kTier, RaceKey(key), kWrite);
       Entry& e = eit->second;
       NLSS_INVARIANT(kTier, e.seq >= seq,
                      "entry sequence ran backwards during absorb");
@@ -322,6 +337,7 @@ void TierManager::StageSpill(cache::ControllerId ctrl,
       !MakeRoom(ctrl, 1)) {
     return;  // flash full of dirty/in-flight data: let the page fall to disk
   }
+  NLSS_ACCESS(kTier, RaceKey(key), kWrite);
   Entry& e = lane.flash[key];
   loc_[key] = ctrl;
   e.data = std::move(data);
@@ -368,6 +384,7 @@ void TierManager::FlushStaging(cache::ControllerId ctrl) {
       if (eit == l.flash.end()) continue;
       Entry& e = eit->second;
       if (e.state != EntryState::kStaging) continue;
+      NLSS_ACCESS(kTier, RaceKey(key), kWrite);
       e.state = EntryState::kReady;
       for (auto& w : e.waiters) {
         engine_.Schedule(0, [w = std::move(w), data = e.data]() mutable {
@@ -385,6 +402,9 @@ void TierManager::FlushStaging(cache::ControllerId ctrl) {
 
 void TierManager::OnAccess(cache::ControllerId ctrl, const cache::PageKey& key,
                            bool /*write*/) {
+  // Heat bumps commute with each other but not with a same-tick victim
+  // ranking that reads this page's heat (kRead in the scan loops).
+  NLSS_ACCESS(kTier, RaceKey(key), kCommute);
   heat_.Touch(key);
   MaybeCool(ctrl, key);
 }
@@ -412,6 +432,9 @@ void TierManager::MaybeCool(cache::ControllerId ctrl,
     }
     ++seen;
     if (f.dirty || f.busy || f.is_replica || key == skip) return;
+    // Cooling reads DRAM frame flags — cache-domain state, keyed like the
+    // cluster's own tags so a same-tick frame mutation conflicts here.
+    NLSS_ACCESS(kCache, cache::PageKeyHash{}(key), kRead);
     victims.push_back(key);
   });
   for (const cache::PageKey& key : victims) {
@@ -439,6 +462,7 @@ std::optional<cache::PageKey> TierManager::PickVictim(
     if (seen >= config_.victim_scan_frames) return;
     ++seen;
     if (f.dirty || f.busy || f.is_replica) return;
+    NLSS_ACCESS(kTier, RaceKey(key), kRead);
     const std::uint32_t h = heat_.HeatOf(key);
     if (!best || h < best_heat) {
       best = key;
@@ -468,6 +492,7 @@ void TierManager::MaybeDemote(cache::ControllerId ctrl, bool force) {
   std::vector<std::pair<std::uint32_t, cache::PageKey>> dirty;
   for (const auto& [key, e] : lane.flash) {
     if (!e.dirty || e.state != EntryState::kReady) continue;
+    NLSS_ACCESS(kTier, RaceKey(key), kRead);
     dirty.emplace_back(heat_.HeatOf(key), key);
   }
   if (dirty.empty()) {
@@ -544,6 +569,7 @@ void TierManager::IssueDemote(cache::ControllerId ctrl,
       continue;  // raced an erase/absorb since selection
     }
     Entry& e = eit->second;
+    NLSS_ACCESS(kTier, RaceKey(key), kWrite);
     e.state = EntryState::kDemoting;
     bytes += e.data.size();
     work.emplace_back(key, e.seq, e.data);
@@ -570,6 +596,11 @@ void TierManager::IssueDemote(cache::ControllerId ctrl,
             const auto eit = l.flash.find(key);
             if (eit != l.flash.end()) {
               Entry& e = eit->second;
+              // Sequence-guarded: the e.seq == seq check re-validates the
+              // demote snapshot (stale_demotes path otherwise), so this
+              // completion converges against any same-tick content access.
+              NLSS_ACCESS(kTier, check::EpochGuardedKey(RaceKey(key)),
+                          kWrite);
               if (e.state == EntryState::kDemoting) e.state = EntryState::kReady;
               NLSS_INVARIANT(kTier, e.seq >= seq,
                              "entry sequence ran backwards during demote");
@@ -597,6 +628,9 @@ void TierManager::TrimClean(cache::ControllerId ctrl,
   std::vector<std::pair<std::uint32_t, cache::PageKey>> candidates;
   for (const auto& [key, e] : lane.flash) {
     if (e.dirty || e.state != EntryState::kReady) continue;
+    // Victim ranking reads each candidate's heat: a same-tick unrelated
+    // heat bump would change the sort, and with it which page is dropped.
+    NLSS_ACCESS(kTier, RaceKey(key), kRead);
     candidates.emplace_back(heat_.HeatOf(key), key);
   }
   std::sort(candidates.begin(), candidates.end());

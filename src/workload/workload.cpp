@@ -166,10 +166,21 @@ void PopulateMetaNamespace(meta::MetaService& service, const FileSet& files,
   const std::uint32_t dirs =
       (files.count + files_per_dir - 1) / files_per_dir;
   for (std::uint32_t d = 0; d < dirs; ++d) {
-    service.BootstrapMkdir("/d" + std::to_string(d));
+    const meta::Status st = service.BootstrapMkdir("/d" + std::to_string(d));
+    NLSS_INVARIANT(kMeta,
+                   st == meta::Status::kOk || st == meta::Status::kExists,
+                   "meta population mkdir /d%u failed: %s", d,
+                   meta::StatusName(st));
+    (void)st;
   }
   for (std::uint32_t f = 0; f < files.count; ++f) {
-    service.BootstrapCreate(MetaPathOf(f, files_per_dir));
+    const meta::Status st =
+        service.BootstrapCreate(MetaPathOf(f, files_per_dir));
+    NLSS_INVARIANT(kMeta,
+                   st == meta::Status::kOk || st == meta::Status::kExists,
+                   "meta population create %u failed: %s", f,
+                   meta::StatusName(st));
+    (void)st;
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "cache/backing.h"
 #include "cache/cluster.h"
+#include "check/race.h"
 #include "net/fabric.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
@@ -350,9 +351,16 @@ TEST_F(ClusterTest, RandomizedCoherenceAgainstFlatModel) {
 
 TEST_F(ClusterTest, ConcurrentMixedOpsEventuallyConsistent) {
   // Issue overlapping reads/writes without draining the engine in between:
-  // exercises directory-entry queueing.  After the storm, flushed state
-  // must equal the last write in issue order for each page.
+  // exercises directory-entry queueing.  This input is DELIBERATELY racy —
+  // four unrelated hosts write the same page concurrently, so which write
+  // wins is a function of queue order.  Pin a non-aborting race detector:
+  // the raciness is the fixture, and the detector seeing it through the
+  // full stack is part of what this test asserts.  The oracle below checks
+  // coherence (all controllers agree), which holds in ANY order.
   Build(4);
+  check::RaceDetector det;
+  det.set_report_violations(false);
+  engine_.AttachRaceDetector(&det);
   const std::uint32_t page = 64 * 1024;
   for (int round = 0; round < 10; ++round) {
     for (ControllerId c = 0; c < 4; ++c) {
@@ -362,6 +370,11 @@ TEST_F(ClusterTest, ConcurrentMixedOpsEventuallyConsistent) {
     }
   }
   engine_.Run();
+#if NLSS_INVARIANTS_ENABLED
+  EXPECT_FALSE(det.conflicts().empty())
+      << "unrelated same-page writes must be visible to the race detector";
+#endif
+  engine_.AttachRaceDetector(nullptr);  // flush/readback below is race-free
   ASSERT_TRUE(FlushAll());
   // Directory serialization means the last-acquired write wins; all
   // controllers must agree on whatever that was.

@@ -1,0 +1,18 @@
+// float-accumulate: order-sensitive FP accumulation in range-for bodies.
+#include <vector>
+
+double Mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+  }
+  double alt = 0.0;
+  for (const double x : xs) {
+    alt = alt + x;
+  }
+  long long ticks = 0;
+  for (const double x : xs) {
+    ticks += static_cast<long long>(x);  // integer accumulation: exact
+  }
+  return (sum + alt) / 2.0 + static_cast<double>(ticks);
+}

@@ -1,0 +1,31 @@
+// same-tick-chain: Schedule(0, ...) lambdas mutating member state with no
+// NLSS_ACCESS tag (same-tick events reorder under perturbation).
+struct Engine {
+  template <typename F>
+  void Schedule(unsigned long long delay_ns, F fn);
+};
+
+struct Node {
+  Engine engine_;
+  unsigned long long retries_ = 0;
+  bool draining_ = false;
+
+  void BadIncrement() {
+    engine_.Schedule(0, [this] { ++retries_; });
+  }
+  void BadAssign() {
+    engine_.Schedule(0, [this] { draining_ = true; });
+  }
+  void GoodTagged() {
+    engine_.Schedule(0, [this] {
+      NLSS_ACCESS(kHost, 1, kWrite);
+      ++retries_;
+    });
+  }
+  void GoodDelayed() {
+    engine_.Schedule(5, [this] { ++retries_; });  // not a same-tick chain
+  }
+  void GoodPure(void (*cb)()) {
+    engine_.Schedule(0, [cb] { cb(); });  // mutates no member state
+  }
+};

@@ -1,0 +1,12 @@
+// stale-allow: suppressions that suppress nothing.
+// nlss-lint: allow(rand)
+int x = 0;
+
+// nlss-lint: allow(no-such-rule)
+// nlss-lint: allow-file(wallclock)
+int Dead() { return x; }
+
+// A deliberately dormant suppression can be kept by pairing it with
+// allow(stale-allow) on the same line:
+// nlss-lint: allow(rng-seed, stale-allow)
+int Kept() { return x + 1; }

@@ -1,0 +1,29 @@
+// unchecked-status: error-carrying results discarded at statement position.
+#include <cstdint>
+
+struct Qos {
+  bool Submit(int blade, int tenant, std::uint64_t cost);
+  bool TryHedge(int blade, int tenant);
+};
+struct Meta {
+  int BootstrapMkdir(const char* path);
+  int MoveDirectory(std::uint64_t dir, std::uint32_t to);
+};
+struct Pool {
+  void Submit(int job);  // void: not admission control
+};
+
+void Bad(Qos& qos, Meta& meta) {
+  qos.Submit(0, 1, 4096);
+  qos.TryHedge(0, 1);
+  meta.BootstrapMkdir("/a");
+  meta.MoveDirectory(7, 2);
+}
+
+bool Good(Qos& qos, Meta& meta, Pool& pool) {
+  if (!qos.Submit(0, 1, 4096)) return false;
+  const bool hedged = qos.TryHedge(0, 1);
+  (void)meta.BootstrapMkdir("/b");  // explicit acknowledged discard
+  pool.Submit(3);                   // non-qos receiver: void Submit
+  return hedged && meta.MoveDirectory(7, 2) == 0;
+}

@@ -111,6 +111,44 @@ TEST(LintRules, BareCoalescedWriteFixture) {
   EXPECT_EQ(got, want);  // Good() variants carry wid / inline WriteId
 }
 
+TEST(LintRules, UncheckedStatusFixture) {
+  const auto got = LinesAndRules(LintFixture("bad_unchecked_status.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {
+      {17, "unchecked-status"},
+      {18, "unchecked-status"},
+      {19, "unchecked-status"},
+      {20, "unchecked-status"}};
+  // Good(): consumed results, a (void) cast, and a void pool.Submit — all
+  // clean (asserted by the exact match).
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintRules, SameTickChainFixture) {
+  const auto got = LinesAndRules(LintFixture("bad_same_tick_chain.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {
+      {14, "same-tick-chain"}, {17, "same-tick-chain"}};
+  // GoodTagged (NLSS_ACCESS in body), GoodDelayed (nonzero delay), and
+  // GoodPure (no member mutation) stay quiet.
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintRules, FloatAccumulateFixture) {
+  const auto got = LinesAndRules(LintFixture("bad_float_accumulate.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {
+      {7, "float-accumulate"}, {11, "float-accumulate"}};
+  // The integer-accumulation loop on line 15 is clean.
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintRules, StaleAllowFixture) {
+  const auto got = LinesAndRules(LintFixture("bad_stale_allow.cpp"));
+  const std::vector<std::pair<int, std::string>> want = {
+      {2, "stale-allow"}, {5, "stale-allow"}, {6, "stale-allow"}};
+  // Line 11's dormant allow(rng-seed) is kept by the paired
+  // allow(stale-allow) on the same comment.
+  EXPECT_EQ(got, want);
+}
+
 TEST(LintAllowlist, SuppressesLineAndFileScopes) {
   // Has a wallclock use under a same/next-line allow, a rand use under
   // allow-file, and an unordered iteration with a trailing same-line allow.
@@ -123,9 +161,28 @@ TEST(LintAllowlist, AllowDoesNotLeakToOtherRules) {
       "// nlss-lint: allow(rand)\n"
       "auto t = std::chrono::steady_clock::now();\n";
   const auto findings = LintText("x.cpp", text);
-  ASSERT_EQ(findings.size(), 1u);  // allow(rand) does not cover wallclock
-  EXPECT_EQ(findings[0].rule, "wallclock");
-  EXPECT_EQ(findings[0].line, 3);
+  // allow(rand) does not cover wallclock — and, having suppressed nothing,
+  // it is itself reported stale.
+  const auto got = LinesAndRules(findings);
+  const std::vector<std::pair<int, std::string>> want = {
+      {2, "stale-allow"}, {3, "wallclock"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintAllowlist, AllowInsideStringNeverRegisters) {
+  // An nlss-lint marker inside a string literal is data, not a
+  // suppression: it neither allows anything nor counts as a stale entry.
+  EXPECT_TRUE(
+      LintText("x.cpp",
+               "const char* s = \"// nlss-lint: allow(rand)\";\n")
+          .empty());
+  // And it does not suppress a real finding on the next line.
+  const auto findings = LintText(
+      "x.cpp",
+      "const char* s = \"nlss-lint: allow(rand)\";\n"
+      "int r = std::rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rand");
 }
 
 TEST(LintClean, CleanFixtureAndStrippedContexts) {
@@ -175,7 +232,9 @@ TEST(LintTree, EveryRuleHasAFiringFixture) {
   for (const char* name :
        {"bad_wallclock.cpp", "bad_rand.cpp", "bad_rng_seed.cpp",
         "bad_unordered_iter.cpp", "bad_pointer_key.cpp",
-        "bad_bare_write.cpp", "bad_bare_coalesced_write.cpp"}) {
+        "bad_bare_write.cpp", "bad_bare_coalesced_write.cpp",
+        "bad_unchecked_status.cpp", "bad_same_tick_chain.cpp",
+        "bad_float_accumulate.cpp", "bad_stale_allow.cpp"}) {
     for (const Finding& f : LintFixture(name)) fired.insert(f.rule);
   }
   for (const std::string& rule : nlss::lint::RuleNames()) {

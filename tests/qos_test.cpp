@@ -210,13 +210,13 @@ TEST(SchedulerTest, BackloggedTenantsShareByConfiguredWeights) {
   // a fixed 1 us downstream.
   std::uint64_t done_a = 0, done_b = 0;
   std::function<void(TenantId)> submit = [&](TenantId t) {
-    qos.Submit(0, t, 1000, [&, t](std::function<void(bool)> done) {
+    EXPECT_TRUE(qos.Submit(0, t, 1000, [&, t](std::function<void(bool)> done) {
       engine.Schedule(1 * util::kNsPerUs, [&, t, done] {
         (t == a ? done_a : done_b) += 1;
         done(true);
         if (engine.now() < 10 * util::kNsPerMs) submit(t);
       });
-    });
+    })) << "closed-loop submit rejected despite deep queue";
   };
   for (int i = 0; i < 8; ++i) {
     submit(a);

@@ -23,10 +23,33 @@
 //                   list) — unattributed writes bypass the blade-side
 //                   idempotency dedup, so a re-drive could apply twice.
 //
+// Flow-aware rules (brace matching, receiver chains, loop bodies — still
+// no libclang):
+//
+//   unchecked-status  statement-position calls of error-carrying entry
+//                     points (qos Submit/TryHedge, TierRead/TierWriteBack,
+//                     StealCleanFrame, MoveDirectory, Bootstrap*) whose
+//                     result is discarded; an unread refusal means the
+//                     caller proceeds as if admitted.  `(void)` casts pass.
+//   same-tick-chain   Schedule(0, ...) lambdas that mutate member state
+//                     (trailing-underscore writes / mutating container
+//                     calls) with no NLSS_ACCESS tag in the body — the
+//                     exact spot where same-tick perturbation can fork the
+//                     digest unobserved by the race detector.
+//   float-accumulate  float/double accumulation (`x += e`, `x = x + e`)
+//                     inside a range-for body: FP addition is
+//                     order-sensitive, so iteration order feeds the digest.
+//   stale-allow       suppression comments that suppressed nothing in this
+//                     run (the code they excused is gone) or that name a
+//                     rule that does not exist.
+//
 // Allowlist: `// nlss-lint: allow(rule)` on the offending line or the line
 // above; `// nlss-lint: allow-file(rule)` anywhere for the whole file.
-// Comments and string literals are stripped before matching, so prose
-// mentioning std::rand never trips a rule.
+// Allows are parsed from comment text only (an `nlss-lint:` marker inside
+// a string literal never registers), and every entry's usage is tracked so
+// stale-allow keeps the suppression set minimal.  Comments and string
+// literals are stripped before rule matching, so prose mentioning
+// std::rand never trips a rule.
 #pragma once
 
 #include <string>

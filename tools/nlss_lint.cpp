@@ -1,20 +1,39 @@
-// nlss_lint <path>...  — determinism lint over the given files/directories.
-// Prints findings as "file:line: [rule] message" and exits 1 if any exist,
-// so the CMake `lint` target gates CI.
+// nlss_lint [--stats] <path>...  — determinism lint over the given
+// files/directories.  Prints findings as "file:line: [rule] message" to
+// stderr and exits 1 if any exist, so the CMake `lint` target gates CI.
+// --stats additionally prints a per-rule finding count table to stdout
+// (every published rule, zeros included) for the CI findings artifact.
 #include <cstdio>
+#include <cstring>
+#include <map>
 
 #include "lint_core.h"
 
 int main(int argc, char** argv) {
+  bool stats = false;
   std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: nlss_lint <file-or-dir>...\n");
+    std::fprintf(stderr, "usage: nlss_lint [--stats] <file-or-dir>...\n");
     return 2;
   }
   const auto findings = nlss::lint::LintPaths(roots);
   for (const auto& f : findings) {
     std::fprintf(stderr, "%s\n", nlss::lint::FormatFinding(f).c_str());
+  }
+  if (stats) {
+    std::map<std::string, std::size_t> by_rule;
+    for (const auto& f : findings) ++by_rule[f.rule];
+    std::printf("rule findings\n");
+    for (const auto& rule : nlss::lint::RuleNames()) {
+      std::printf("%s %zu\n", rule.c_str(), by_rule[rule]);
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "nlss_lint: %zu finding(s)\n", findings.size());
