@@ -3,6 +3,9 @@
 // CRC32C, cache frame management, and the DES engine itself.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <functional>
+
 #include "cache/node.h"
 #include "crypto/aes.h"
 #include "crypto/keystore.h"
@@ -160,6 +163,87 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleRun);
+
+// --- DES kernel throughput (BM_EngineEventsPerSec_*) -------------------------
+//
+// Wall-clock events/sec of the simulation kernel itself; items_per_second in
+// the benchmark JSON is the CI perf-trajectory line.  Three shapes:
+// empty-callback churn (queue mechanics only), mixed horizons (ring +
+// overflow + re-bucketing), and an E1-shaped replay (closed-loop chains with
+// realistic capture sizes).
+
+void BM_EngineEventsPerSec_Churn(benchmark::State& state) {
+  // 64Ki empty callbacks spread over a 4Ki-tick near horizon: measures pure
+  // schedule+dispatch cost with no callback work at all.
+  constexpr int kEvents = 64 * 1024;
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < kEvents; ++i) {
+      engine.Schedule(static_cast<sim::Tick>((i * 37) & 4095), [] {});
+    }
+    engine.Run();
+    benchmark::DoNotOptimize(engine.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EngineEventsPerSec_Churn);
+
+void BM_EngineEventsPerSec_MixedHorizon(benchmark::State& state) {
+  // 256 self-rescheduling chains whose delays cycle through four decades
+  // (50 ns .. 100 ms), so the queue constantly spans near-horizon buckets
+  // and far-future overflow and must re-bucket as the clock advances.
+  constexpr int kChains = 256;
+  constexpr std::uint64_t kEvents = 256 * 1024;
+  constexpr sim::Tick kDelays[4] = {50, 1'000, 1'000'000, 100'000'000};
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t executed = 0;
+    std::function<void(std::uint64_t)> hop = [&](std::uint64_t c) {
+      if (++executed >= kEvents) return;
+      engine.Schedule(kDelays[(c + executed) & 3], [&hop, c] { hop(c); });
+    };
+    for (std::uint64_t c = 0; c < kChains; ++c) {
+      engine.Schedule(kDelays[c & 3], [&hop, c] { hop(c); });
+    }
+    engine.Run();
+    benchmark::DoNotOptimize(engine.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EngineEventsPerSec_MixedHorizon);
+
+void BM_EngineEventsPerSec_E1Replay(benchmark::State& state) {
+  // E1-shaped closed loop: 64 streams, each op is a 3-stage chain
+  // (issue -> service -> complete) whose callbacks carry the capture sizes
+  // the real stack schedules (ids + a couple of pointers, ~32-48 B).
+  constexpr std::size_t kStreams = 64;
+  constexpr std::uint64_t kOpsPerStream = 1024;
+  for (auto _ : state) {
+    sim::Engine engine;
+    util::Rng rng(7);
+    std::array<std::uint64_t, kStreams> done{};
+    std::uint64_t completed = 0;
+    std::function<void(std::size_t)> issue = [&](std::size_t s) {
+      if (done[s] >= kOpsPerStream) return;
+      ++done[s];
+      const sim::Tick link = 500 + rng.Below(1500);
+      const sim::Tick service = 2'000 + rng.Below(20'000);
+      engine.Schedule(link, [&engine, &issue, &completed, s, service] {
+        engine.Schedule(service, [&engine, &issue, &completed, s] {
+          engine.Schedule(500, [&issue, &completed, s] {
+            ++completed;
+            issue(s);
+          });
+        });
+      });
+    };
+    for (std::size_t s = 0; s < kStreams; ++s) issue(s);
+    engine.Run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * kStreams * kOpsPerStream * 3);
+}
+BENCHMARK(BM_EngineEventsPerSec_E1Replay);
 
 void BM_HistogramRecord(benchmark::State& state) {
   util::Histogram h;

@@ -345,9 +345,20 @@ void Initiator::HandleFailure(const OpPtr& op, int failed_path) {
   });
 }
 
+std::uint64_t Initiator::RaceKey(std::uint64_t op_id) const {
+  // FNV-1a of the host name: a stable per-host salt with no pointer
+  // identity in it (pointer-derived keys would not be run-reproducible).
+  std::uint64_t salt = 0xcbf29ce484222325ull;
+  for (const char c : name_) {
+    salt ^= static_cast<unsigned char>(c);
+    salt *= 0x100000001b3ull;
+  }
+  return check::AccessKey(salt, op_id);
+}
+
 void Initiator::FinishOp(const OpPtr& op, bool ok, util::Bytes data) {
   if (op->done) return;
-  NLSS_ACCESS(kHost, op->id, kWrite);
+  NLSS_ACCESS(kHost, RaceKey(op->id), kWrite);
   NLSS_INVARIANT(kHost, !op->callback_fired,
                  "op %llu completing a second time",
                  static_cast<unsigned long long>(op->id));
@@ -413,7 +424,7 @@ void Initiator::MarkPathDown(int path) {
       // Same-tick chain racing the op's completion events: which side runs
       // first decides suppressed-redrive vs failover accounting, so both
       // outcomes write op state for the detector to adjudicate.
-      NLSS_ACCESS(kHost, op->id, kWrite);
+      NLSS_ACCESS(kHost, RaceKey(op->id), kWrite);
       if (op->done) {
         ++stats_.suppressed_redrives;
         return;

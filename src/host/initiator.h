@@ -159,6 +159,11 @@ class Initiator {
   void ForcePathDown(std::size_t i) { MarkPathDown(static_cast<int>(i)); }
 
  private:
+  /// Race-detector key for an op: op ids are per-initiator counters, so two
+  /// hosts running in lockstep hold colliding ids for independent ops; salt
+  /// with the host name like meta::Client does for its directory keys.
+  std::uint64_t RaceKey(std::uint64_t op_id) const;
+
   struct Attempt {
     int path = -1;
     bool hedge = false;

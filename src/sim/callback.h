@@ -1,0 +1,154 @@
+// Small-buffer-optimized event callback for the DES kernel.
+//
+// Every timed action in the system is a `void()` closure pushed through the
+// engine; with std::function the common capture sizes (two or three ids plus
+// a pointer or a wrapped continuation — up to ~48 bytes across the sim, net,
+// cache, and raid call sites) exceed libstdc++'s 16-byte inline buffer and
+// heap-allocate on every Schedule.  sim::Callback is a move-only `void()`
+// type with 48 bytes of inline storage, so those captures never touch the
+// heap; larger closures fall back to a single heap cell, which is still no
+// worse than std::function.
+//
+// Intentional differences from std::function<void()>:
+//   - move-only (events are scheduled exactly once; copyability is what
+//     forces std::function to heap-allocate non-copyable-unfriendly captures)
+//   - wrapping an *empty* std::function or a null function pointer yields an
+//     empty Callback, so `if (cb)` tests keep their meaning across the
+//     conversion boundary
+//   - invoking an empty Callback is undefined (the engine never does).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nlss::sim {
+
+namespace detail {
+template <typename T>
+struct IsStdFunction : std::false_type {};
+template <typename Sig>
+struct IsStdFunction<std::function<Sig>> : std::true_type {};
+}  // namespace detail
+
+class Callback {
+ public:
+  /// Largest capture stored inline (no heap).  Measured over the hot
+  /// schedulers: cache flush/waiter wakeups, net transit hops, raid stripe
+  /// completions all fit.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, Callback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    // An empty std::function or null function pointer converts to an empty
+    // Callback, not a callable that throws/crashes when invoked.
+    if constexpr (detail::IsStdFunction<Fn>::value) {
+      if (!f) return;
+    } else if constexpr (std::is_pointer_v<Fn> || std::is_member_pointer_v<Fn>) {
+      if (f == nullptr) return;
+    }
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { MoveFrom(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  Callback& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() const { ops_->invoke(const_cast<unsigned char*>(buf_)); }
+
+  /// True when the wrapped callable lives in the inline buffer (empty
+  /// callbacks count as inline).  Exposed for tests and allocation audits.
+  bool is_inline() const noexcept { return ops_ == nullptr || ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*relocate)(unsigned char* from, unsigned char* to);  // destructive
+    void (*destroy)(unsigned char*);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static Fn* Inline(unsigned char* b) {
+    return std::launder(reinterpret_cast<Fn*>(b));
+  }
+  template <typename Fn>
+  static Fn*& HeapPtr(unsigned char* b) {
+    return *std::launder(reinterpret_cast<Fn**>(b));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* b) { (*Inline<Fn>(b))(); },
+      [](unsigned char* from, unsigned char* to) {
+        ::new (static_cast<void*>(to)) Fn(std::move(*Inline<Fn>(from)));
+        Inline<Fn>(from)->~Fn();
+      },
+      [](unsigned char* b) { Inline<Fn>(b)->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* b) { (*HeapPtr<Fn>(b))(); },
+      [](unsigned char* from, unsigned char* to) {
+        ::new (static_cast<void*>(to)) Fn*(HeapPtr<Fn>(from));
+      },
+      [](unsigned char* b) { delete HeapPtr<Fn>(b); },
+      /*inline_storage=*/false,
+  };
+
+  void MoveFrom(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // Pointer-aligned, not max_align_t: closure captures are ids, pointers,
+  // and nested Callbacks, and 8-byte alignment keeps sizeof(Callback) at 56
+  // so Event can fit it plus a link in one cache line.  An over-aligned
+  // capture (none exist today) would fall back to the heap cell.
+  alignas(void*) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+static_assert(sizeof(Callback) == 56, "one cache line minus a link pointer");
+
+}  // namespace nlss::sim

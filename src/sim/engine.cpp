@@ -1,6 +1,6 @@
 #include "sim/engine.h"
 
-#include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -21,10 +21,20 @@ std::uint64_t PerturbKey(std::uint64_t seed, std::uint64_t seq) {
   return x;
 }
 
+/// Unset/empty -> 0; anything that is not a full unsigned decimal aborts.
+/// NLSS_PERTURB=oops silently meaning "plain FIFO" would let CI believe it
+/// is perturbation-testing while it is not.
 std::uint64_t EnvU64(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
-  return std::strtoull(v, nullptr, 10);
+  char* end = nullptr;
+  const std::uint64_t x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "nlss: %s=\"%s\" is not an unsigned integer\n", name,
+                 v);
+    std::abort();
+  }
+  return x;
 }
 
 }  // namespace
@@ -36,6 +46,9 @@ Engine::Engine() {
     owned_race_ = std::make_unique<check::RaceDetector>();
     race_ = owned_race_.get();
   }
+#else
+  // Parse (and so validate) the knob even when the detector compiles out.
+  (void)EnvU64("NLSS_RACE");
 #endif
 }
 
@@ -49,65 +62,76 @@ void Engine::AttachRaceDetector(check::RaceDetector* d) {
 #endif
 }
 
-void Engine::ScheduleAt(Tick when, Callback cb) {
+Event* Engine::MakeEvent(Tick when, Callback cb) {
   NLSS_INVARIANT(kSim, when >= now_,
                  "scheduling into the past: when=%llu now=%llu",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
+  Event* e = pool_.Alloc();
   const std::uint64_t seq = next_seq_++;
-  const std::uint64_t pri =
-      perturb_seed_ != 0 ? PerturbKey(perturb_seed_, seq) : seq;
-  Item item{when, seq, pri, std::move(cb)};
+  e->when = when;
+  e->seq = seq;
+  e->pri = perturb_seed_ != 0 ? PerturbKey(perturb_seed_, seq) : seq;
+  e->cb = std::move(cb);
 #if NLSS_INVARIANTS_ENABLED
-  item.id = seq + 1;  // 1-based: 0 is the external (non-event) context
-  item.parent = current_event_;
+  e->id = seq + 1;  // 1-based: 0 is the external (non-event) context
+  e->parent = current_event_;
 #endif
-  queue_.push(std::move(item));
+  return e;
 }
 
-void Engine::Execute(Item& item) {
-  NLSS_INVARIANT(kSim, item.when >= now_,
+void Engine::Execute(Event* e, Tick when) {
+  NLSS_INVARIANT(kSim, when >= now_ && when == e->when,
                  "event pop went backwards: when=%llu now=%llu",
-                 static_cast<unsigned long long>(item.when),
+                 static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
-  now_ = item.when;
+  now_ = when;
   ++executed_;
+  // Free the node before running the callback: children it schedules reuse
+  // the still-hot slot, and a drain/refill cycle never grows the arena.
+  Callback cb = std::move(e->cb);
 #if NLSS_INVARIANTS_ENABLED
-  current_event_ = item.id;
+  const std::uint64_t id = e->id;
+  const std::uint64_t parent = e->parent;
+  pool_.Free(e);
+  current_event_ = id;
   check::RaceDetector* prev = nullptr;
   if (race_ != nullptr) {
-    race_->BeginEvent(item.id, item.parent, item.when);
+    race_->BeginEvent(id, parent, now_);
     prev = check::RaceDetector::SetCurrent(race_);
   }
-  item.cb();
+  cb();
   if (race_ != nullptr) {
     race_->EndEvent();
     check::RaceDetector::SetCurrent(prev);
   }
   current_event_ = 0;
 #else
-  item.cb();
+  pool_.Free(e);
+  cb();
 #endif
 }
 
 void Engine::Run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // priority_queue::top() is const; the callback is moved out via
-    // const_cast, which is safe because pop() immediately follows.
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    Execute(item);
+  while (!stopped_) {
+    Tick when = 0;
+    Event* e = queue_.PopMin(&when);
+    if (e == nullptr) break;
+    Execute(e, when);
   }
 }
 
 std::size_t Engine::RunUntil(Tick t) {
   stopped_ = false;
   std::size_t n = 0;
-  while (!queue_.empty() && !stopped_ && queue_.top().when <= t) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    Execute(item);
+  while (!stopped_) {
+    // PeekMinWhen reads the queue's own key record; an empty queue reports
+    // Tick max, which only passes the bound when a real event sits there.
+    if (queue_.Empty() || queue_.PeekMinWhen() > t) break;
+    Tick when = 0;
+    Event* e = queue_.PopMin(&when);
+    Execute(e, when);
     ++n;
   }
   if (!stopped_ && now_ < t) now_ = t;
@@ -115,11 +139,13 @@ std::size_t Engine::RunUntil(Tick t) {
 }
 
 std::size_t Engine::Step(std::size_t max_events) {
+  stopped_ = false;
   std::size_t n = 0;
-  while (n < max_events && !queue_.empty()) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    Execute(item);
+  while (n < max_events && !stopped_) {
+    Tick when = 0;
+    Event* e = queue_.PopMin(&when);
+    if (e == nullptr) break;
+    Execute(e, when);
     ++n;
   }
   return n;

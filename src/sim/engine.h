@@ -5,6 +5,14 @@
 // the same tick execute in scheduling order (FIFO), which makes every run
 // bit-reproducible from the workload seed.
 //
+// Hot path (the kernel rewrite): events live in a slab-allocated arena
+// (sim/event_pool.h) and are ordered by a two-tier ladder/calendar queue
+// (sim/ladder_queue.h) instead of a binary heap, with callbacks held in a
+// 48-byte small-buffer Callback (sim/callback.h) so common captures never
+// heap-allocate.  None of this changes observable semantics: the queue
+// preserves the exact (when, pri, seq) total order, so digests are
+// bit-identical to the heap kernel under FIFO and any perturbation seed.
+//
 // Two determinism-checking hooks (ISSUE 9):
 //
 //   Schedule perturbation.  FIFO order among same-tick events is an
@@ -29,12 +37,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "check/invariant.h"
+#include "sim/callback.h"
+#include "sim/event_pool.h"
+#include "sim/ladder_queue.h"
 
 namespace nlss::check {
 class RaceDetector;
@@ -42,12 +52,9 @@ class RaceDetector;
 
 namespace nlss::sim {
 
-/// Simulated time in nanoseconds.
-using Tick = std::uint64_t;
-
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = ::nlss::sim::Callback;
 
   /// Reads NLSS_PERTURB (same-tick permutation seed, 0/unset = FIFO) and —
   /// with invariants compiled in — NLSS_RACE (attach an owned detector).
@@ -60,7 +67,46 @@ class Engine {
   void Schedule(Tick delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
 
   /// Schedule `cb` at an absolute tick (must be >= now).
-  void ScheduleAt(Tick when, Callback cb);
+  void ScheduleAt(Tick when, Callback cb) { queue_.Push(MakeEvent(when, std::move(cb))); }
+
+  /// Batched insertion for high-fan-out producers (fabric fan-outs, flush
+  /// waiter wakeups, demote pipelines).  Each Add assigns the event's FIFO
+  /// sequence number immediately — so a Batch is observably identical to
+  /// the equivalent loop of Schedule calls — but queue insertion is
+  /// deferred to Commit (or the destructor), which pushes the whole group
+  /// in one pass.
+  class Batch {
+   public:
+    explicit Batch(Engine& engine) : engine_(engine) {}
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+    ~Batch() { Commit(); }
+
+    void Add(Tick delay, Callback cb) {
+      AddAt(engine_.now_ + delay, std::move(cb));
+    }
+    void AddAt(Tick when, Callback cb) {
+      staged_.push_back(engine_.MakeEvent(when, std::move(cb)));
+    }
+    void Commit() {
+      for (Event* e : staged_) engine_.queue_.Push(e);
+      staged_.clear();
+    }
+    std::size_t staged() const { return staged_.size(); }
+
+   private:
+    Engine& engine_;
+    std::vector<Event*> staged_;
+  };
+
+  /// Schedule every element of `cbs` (anything convertible to Callback)
+  /// `delay` ns from now, preserving container order.  The container's
+  /// callbacks are consumed.
+  template <typename Container>
+  void ScheduleBatch(Tick delay, Container&& cbs) {
+    Batch batch(*this);
+    for (auto& cb : cbs) batch.Add(delay, std::move(cb));
+  }
 
   /// Run until the event queue drains (or Stop() is called).
   void Run();
@@ -72,15 +118,29 @@ class Engine {
   /// Convenience: RunUntil(now + d).
   std::size_t RunFor(Tick d) { return RunUntil(now_ + d); }
 
-  /// Execute at most `max_events` events; returns how many ran.
+  /// Execute at most `max_events` events; returns how many ran.  Like
+  /// Run/RunUntil, clears any prior Stop() on entry and returns early if a
+  /// callback calls Stop().
   std::size_t Step(std::size_t max_events = 1);
 
-  /// Ask Run()/RunUntil() to return after the current event.
+  /// Ask Run()/RunUntil()/Step() to return after the current event.
   void Stop() { stopped_ = true; }
 
-  bool Empty() const { return queue_.empty(); }
-  std::size_t PendingEvents() const { return queue_.size(); }
+  bool Empty() const { return queue_.Empty(); }
+  std::size_t PendingEvents() const { return queue_.Size(); }
   std::uint64_t executed_events() const { return executed_; }
+
+  /// Event arena occupancy, for tests and allocation audits: slab count
+  /// never shrinks, so a drain/refill cycle that reuses nodes keeps `slabs`
+  /// flat while `free_events` returns to capacity - pending.
+  struct ArenaStats {
+    std::size_t slabs;
+    std::size_t capacity;
+    std::size_t free_events;
+  };
+  ArenaStats arena_stats() const {
+    return {pool_.slabs(), pool_.capacity(), pool_.free_events()};
+  }
 
   /// Same-tick schedule perturbation: 0 restores FIFO, any other value
   /// permutes the same-tick tie-break with that seed.  Applies to events
@@ -95,27 +155,13 @@ class Engine {
   check::RaceDetector* race_detector() const { return race_; }
 
  private:
-  struct Item {
-    Tick when;
-    std::uint64_t seq;  // FIFO tie-breaker and stable id of insertion order
-    std::uint64_t pri;  // same-tick order key: seq, or its seeded mix
-    Callback cb;
-#if NLSS_INVARIANTS_ENABLED
-    std::uint64_t id = 0;      // causal id (1-based; 0 = external context)
-    std::uint64_t parent = 0;  // causal id of the scheduling event
-#endif
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.pri != b.pri) return a.pri > b.pri;
-      return a.seq > b.seq;
-    }
-  };
+  Event* MakeEvent(Tick when, Callback cb);
+  // `when` is the queue's copy of the event's timestamp (LadderQueue::Ref),
+  // passed in so dispatch never reads the event's second cache line.
+  void Execute(Event* e, Tick when);
 
-  void Execute(Item& item);
-
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  EventPool pool_;
+  LadderQueue queue_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,472 @@
+// Multi-rung ladder/calendar queue for the DES kernel.
+//
+// The binary heap the engine used to run put every pending event through
+// O(log n) comparisons and moved whole Item structs during sifts.  This
+// queue exploits what a storage simulation actually schedules — almost
+// everything lands within a short horizon of `now` — to make both insert and
+// pop amortized O(1) while preserving the EXACT (when, pri, seq) total order
+// the heap produced.  The keys are unique — pri is seq itself under FIFO and
+// a seeded bijection of seq under perturbation — so (when, pri) alone is a
+// total order and any correct priority queue yields a bit-identical
+// execution order: FIFO, perturbation permutations, and causal
+// parent->child order all come out unchanged.
+//
+// Storage tiers, nearest first:
+//
+//   front   sorted ascending vector of events with when < front_end_,
+//           drained through a cursor (no pop-side memmove).  Same-tick
+//           children scheduled while the front drains binary-search-insert
+//           into the undrained tail.
+//   rungs   a path of ring structures.  Each rung splits its span into
+//           kBuckets unsorted buckets of equal width; rung k+1 subdivides
+//           the bucket rung k is currently draining with kBuckets-times
+//           finer width.  Insert appends to a bucket of the deepest rung
+//           that covers `when` — O(depth), and depth is bounded by
+//           log_kBuckets(span) <= 8.  When a bucket reaches the head of the
+//           deepest rung it either becomes the front (small buckets: one
+//           sort) or is spread one level down (large buckets), so no event
+//           is ever sorted in a run longer than kSpreadThreshold.
+//   spill   unsorted vector for events past the bottom rung's span.  Rung
+//           coverage is FIXED at creation, so every queued event in the
+//           rungs orders before every spilled event and the spill only
+//           needs integrating when the rungs drain: ReAnchor re-derives the
+//           bottom rung's width from the spill population's span and
+//           redistributes it in one pass.  (An earlier draft slid a single
+//           ring window forward as buckets drained; the window could slide
+//           past an old spilled event while newer ring events kept arriving,
+//           which reordered execution — fixed coverage removes that hazard
+//           structurally.)
+//
+// Every tier holds Ref entries — the (when, pri) key copied next to the
+// Event* — rather than raw pointers or intrusive lists.  The key fields are
+// immutable once scheduled, so the copies can never go stale, and the
+// sorts, binary searches, and spreads all run over contiguous 24-byte
+// records without touching the arena.  The front sort itself is an LSD
+// radix sort over (when - min): events that share a bucket share their high
+// when-bits, so one or two branch-free counting passes replace the
+// mispredict-heavy comparison sort, and equal-when runs get a tiny
+// insertion/std::sort fix-up by pri (under FIFO those runs arrive already
+// pri-ordered).  The only arena dereference left on the pop path is the one
+// Execute needs anyway, and PopMin prefetches it a few events ahead.
+//
+// The queue stores Event* nodes owned by the engine's EventPool and never
+// allocates per event: tier vectors keep their capacity across drain/refill
+// cycles (front and bucket storage circulate by swap) and retired rungs go
+// to a pool for reuse.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/event_pool.h"
+
+namespace nlss::sim {
+
+class LadderQueue {
+ public:
+  static constexpr std::size_t kBuckets = 256;  // per rung; power of two
+  /// Buckets at most this long become the front with one direct sort;
+  /// longer ones are spread into a finer rung first.  Radix sorting keeps
+  /// direct sorts linear, so this mainly bounds front working-set size.
+  static constexpr std::size_t kSpreadThreshold = 2048;
+
+  // Like SlabCache for the event arena, the queue's scratch buffers (front,
+  // spill, radix ping-pong, retired rungs with their 256 bucket vectors) are
+  // parked process-wide across queue lifetimes: engines are built and torn
+  // down in loops, and re-growing megabytes of vector capacity from zero
+  // each time costs more in realloc copies and page faults than the queue
+  // operations themselves.
+  LadderQueue() {
+    ScratchCache& c = ScratchCache::Instance();
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (!c.items.empty()) {
+      Scratch s = std::move(c.items.back());
+      c.items.pop_back();
+      front_ = std::move(s.front);
+      spill_ = std::move(s.spill);
+      radix_tmp_ = std::move(s.radix);
+      rung_pool_ = std::move(s.rung_pool);
+    }
+  }
+
+  LadderQueue(const LadderQueue&) = delete;
+  LadderQueue& operator=(const LadderQueue&) = delete;
+
+  ~LadderQueue() {
+    for (Rung& g : rungs_) {
+      for (std::vector<Ref>& b : g.buckets) b.clear();
+      RetireRung(std::move(g));
+    }
+    front_.clear();
+    spill_.clear();
+    radix_tmp_.clear();
+    Scratch s{std::move(front_), std::move(spill_), std::move(radix_tmp_),
+              std::move(rung_pool_)};
+    ScratchCache& c = ScratchCache::Instance();
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.items.size() < ScratchCache::kMaxItems) {
+      c.items.push_back(std::move(s));
+    }
+  }
+
+  bool Empty() const { return size_ == 0; }
+  std::size_t Size() const { return size_; }
+
+  void Push(Event* e) {
+    ++size_;
+    Insert(Ref{e->when, e->pri, e});
+  }
+
+  /// Minimum event by (when, pri, seq), or nullptr when empty.  Stays valid
+  /// until the next Push/PopMin.
+  const Event* PeekMin() {
+    if (size_ == 0) return nullptr;
+    if (front_pos_ >= front_.size()) Refill();
+    return front_[front_pos_].e;
+  }
+
+  /// Timestamp of the minimum event, or Tick max when empty.  Served from
+  /// the contiguous front record — no arena dereference.
+  Tick PeekMinWhen() {
+    if (size_ == 0) return kMaxTick;
+    if (front_pos_ >= front_.size()) Refill();
+    return front_[front_pos_].when;
+  }
+
+  /// Pop the minimum event; its timestamp is written to *when_out (again
+  /// from the front record, sparing the caller a read of the event's cold
+  /// second cache line).
+  Event* PopMin(Tick* when_out = nullptr) {
+    if (size_ == 0) return nullptr;
+    if (front_pos_ >= front_.size()) Refill();
+    if (when_out != nullptr) *when_out = front_[front_pos_].when;
+    Event* e = front_[front_pos_++].e;
+    // Warm the node the engine will execute a few pops from now; arena slots
+    // are scattered relative to sorted order, so without this every Execute
+    // opens with a cold load of the callback.
+    if (front_pos_ + 4 <= front_.size())
+      __builtin_prefetch(front_[front_pos_ + 3].e);
+    --size_;
+    if (size_ == 0) {
+      // Fully drained: drop the anchor so the next population re-derives
+      // its geometry from scratch (also exits saturation fold mode).  Any
+      // rungs still standing are exhausted shells — retire them, or new
+      // pushes would route into buckets their base already drained past.
+      front_.clear();
+      front_pos_ = 0;
+      front_end_ = 0;
+      folded_ = false;
+      for (Rung& g : rungs_) RetireRung(std::move(g));
+      rungs_.clear();
+    }
+    return e;
+  }
+
+ private:
+  static constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+  /// Ordering key copied out of the event plus the node it belongs to.
+  /// seq is deliberately absent: pri is a bijection of seq, so (when, pri)
+  /// already decides every comparison and the record stays at 24 bytes.
+  struct Ref {
+    Tick when;
+    std::uint64_t pri;
+    Event* e;
+  };
+
+  struct Rung {
+    Tick start = 0;  // left edge of bucket 0
+    Tick width = 1;
+    Tick last = 0;         // inclusive upper bound of this rung's coverage
+    std::size_t base = 0;  // next bucket to drain
+    std::size_t count = 0;
+    std::vector<std::vector<Ref>> buckets;
+  };
+
+  /// One retired queue's worth of reusable buffer capacity.
+  struct Scratch {
+    std::vector<Ref> front;
+    std::vector<Ref> spill;
+    std::vector<Ref> radix;
+    std::vector<Rung> rung_pool;
+  };
+
+  struct ScratchCache {
+    static constexpr std::size_t kMaxItems = 8;
+    std::mutex mu;
+    std::vector<Scratch> items;
+    static ScratchCache& Instance() {
+      static ScratchCache c;
+      return c;
+    }
+  };
+
+  static bool EarlierFirst(const Ref& a, const Ref& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.pri < b.pri;
+  }
+
+  void InsertFront(const Ref& r) {
+    // Only the undrained tail [front_pos_, end) is live; `when >= now`
+    // guarantees the insertion point is inside it.  It is almost always at
+    // the very end (the event runs soon), so the memmove is short.
+    front_.insert(std::upper_bound(front_.begin() + front_pos_, front_.end(),
+                                   r, EarlierFirst),
+                  r);
+  }
+
+  void Insert(const Ref& r) {
+    if (folded_ || r.when < front_end_) {
+      InsertFront(r);
+      return;
+    }
+    // Deepest rung first: child coverage nests inside the parent bucket the
+    // child subdivides, so the first rung that covers `when` is the right
+    // one.  `when >= front_end_` guarantees the target bucket is at or
+    // after the rung's base, so it has not been drained past.
+    for (std::size_t k = rungs_.size(); k-- > 0;) {
+      Rung& g = rungs_[k];
+      if (r.when <= g.last) {
+        g.buckets[(r.when - g.start) / g.width].push_back(r);
+        ++g.count;
+        return;
+      }
+    }
+    if (spill_.empty()) {
+      spill_lo_ = spill_hi_ = r.when;
+    } else {
+      spill_lo_ = std::min(spill_lo_, r.when);
+      spill_hi_ = std::max(spill_hi_, r.when);
+    }
+    // Grow in 4x strides from a slab-sized floor: schedule-heavy setups park
+    // tens of thousands of events here before the first pop, and the
+    // default doubling spends more time in realloc copies and fresh page
+    // faults than in the pushes themselves.
+    if (spill_.size() == spill_.capacity()) {
+      spill_.reserve(std::max<std::size_t>(4096, spill_.capacity() * 4));
+    }
+    spill_.push_back(r);
+  }
+
+  /// Inclusive coverage bound for a rung at `start` with kBuckets buckets
+  /// of `width`, saturating at the tick horizon.
+  static Tick RungLast(Tick start, Tick width) {
+    return width > (kMaxTick - start) / kBuckets ? kMaxTick
+                                                 : start + kBuckets * width - 1;
+  }
+
+  Rung TakeRung() {
+    if (rung_pool_.empty()) {
+      Rung r;
+      r.buckets.resize(kBuckets);
+      return r;
+    }
+    Rung r = std::move(rung_pool_.back());
+    rung_pool_.pop_back();
+    return r;
+  }
+
+  void RetireRung(Rung&& r) {
+    r.base = 0;
+    r.count = 0;
+    rung_pool_.push_back(std::move(r));  // buckets keep their capacity
+  }
+
+  /// Called with the front drained and size_ > 0: walk the deepest rung to
+  /// the next non-empty bucket and either sort it into the front (small) or
+  /// spread it one level down (large); re-anchor from the spill when the
+  /// rungs drain entirely.
+  void Refill() {
+    front_.clear();
+    front_pos_ = 0;
+    while (front_.empty()) {
+      if (rungs_.empty()) {
+        if (spill_.empty()) return;  // size_ > 0 rules this out; defensive
+        ReAnchor();
+        continue;
+      }
+      Rung& g = rungs_.back();
+      if (g.count == 0) {
+        RetireRung(std::move(g));
+        rungs_.pop_back();
+        continue;
+      }
+      while (g.base < kBuckets && g.buckets[g.base].empty()) ++g.base;
+#ifdef NLSS_LQ_DEBUG
+      if (g.base >= kBuckets) {
+        std::fprintf(stderr,
+                     "LQ BUG: rung depth=%zu start=%llu width=%llu last=%llu "
+                     "base=%zu count=%zu front_end=%llu size=%zu\n",
+                     rungs_.size(), (unsigned long long)g.start,
+                     (unsigned long long)g.width, (unsigned long long)g.last,
+                     g.base, g.count, (unsigned long long)front_end_, size_);
+        std::abort();
+      }
+#endif
+      std::vector<Ref>& b = g.buckets[g.base];
+      if (g.width == 1 || b.size() <= kSpreadThreshold) {
+        front_.swap(b);  // front_ is empty: capacities circulate, no copy
+        g.count -= front_.size();
+        ++g.base;
+        // Advance the front bound to the drained bucket's right edge, but
+        // never past the rung's own coverage: a child whose width does not
+        // divide the parent bucket evenly has buckets sticking out past its
+        // last, and letting front_end_ follow them would route events that
+        // belong to the parent's NEXT bucket into the front ahead of
+        // earlier events still waiting in that bucket.
+        const Tick adv =
+            g.base > (kMaxTick - g.start) / g.width
+                ? kMaxTick
+                : g.start + static_cast<Tick>(g.base) * g.width;
+        front_end_ = std::min(adv, SatAddOne(g.last));
+        if (front_end_ == kMaxTick) {
+          // Saturated horizon (coverage touching Tick max): an exclusive
+          // front bound can no longer be represented, so fold everything
+          // into the front and run as one sorted vector from here on.
+          FoldAll();
+        }
+      } else {
+        Spread(g, b);
+      }
+    }
+    SortFront();
+  }
+
+  static Tick SatAddOne(Tick t) { return t == kMaxTick ? kMaxTick : t + 1; }
+
+  /// Subdivide the bucket at g.base into a new deepest rung with
+  /// kBuckets-times finer width.  The child covers exactly the parent
+  /// bucket's window, so deepest-first insertion keeps routing correct.
+  void Spread(Rung& g, std::vector<Ref>& b) {
+    Rung c = TakeRung();
+    c.start = g.start + g.base * g.width;
+    c.width = (g.width + kBuckets - 1) / kBuckets;  // ceil; >= 1
+    const Tick parent_last =
+        g.width - 1 > kMaxTick - c.start ? kMaxTick : c.start + g.width - 1;
+    c.last = std::min(RungLast(c.start, c.width), parent_last);
+    for (const Ref& r : b) {
+      c.buckets[(r.when - c.start) / c.width].push_back(r);
+    }
+    c.count = b.size();
+    g.count -= b.size();
+    b.clear();
+    ++g.base;
+    rungs_.push_back(std::move(c));
+  }
+
+  void FoldAll() {
+    for (Rung& g : rungs_) {
+      for (std::vector<Ref>& b : g.buckets) {
+        front_.insert(front_.end(), b.begin(), b.end());
+        b.clear();
+      }
+      RetireRung(std::move(g));
+    }
+    rungs_.clear();
+    front_.insert(front_.end(), spill_.begin(), spill_.end());
+    spill_.clear();
+    folded_ = true;
+  }
+
+  /// Front and rungs are empty but the spill is not: build a fresh bottom
+  /// rung whose width is derived from the spill population's span and
+  /// redistribute the spill into it.  The new rung always covers the whole
+  /// span, so the spill empties completely.
+  void ReAnchor() {
+    Rung g = TakeRung();
+    g.start = spill_lo_;
+    g.width = (spill_hi_ - spill_lo_) / kBuckets + 1;
+    g.last = RungLast(g.start, g.width);
+    for (const Ref& r : spill_) {
+      g.buckets[(r.when - g.start) / g.width].push_back(r);
+    }
+    g.count = spill_.size();
+    spill_.clear();
+    front_end_ = g.start;  // nothing redistributes into the front
+    rungs_.push_back(std::move(g));
+  }
+
+  /// Sort front_ ascending by (when, pri).  Comparison sorting pays an
+  /// unpredictable branch per comparison, which dominates bucket-sized
+  /// sorts; instead run a branch-free LSD radix sort on (when - min) — one
+  /// counting pass per significant byte, and bucket residents share their
+  /// high when-bits so one or two passes are typical — then repair
+  /// equal-when runs by pri (already in pri order under FIFO, tiny
+  /// shuffles under perturbation).
+  void SortFront() {
+    const std::size_t n = front_.size();
+    if (n < 2) return;
+    if (n <= 48) {
+      std::sort(front_.begin(), front_.end(), EarlierFirst);
+      return;
+    }
+    Tick lo = front_[0].when;
+    Tick hi = front_[0].when;
+    for (const Ref& r : front_) {
+      lo = std::min(lo, r.when);
+      hi = std::max(hi, r.when);
+    }
+    if (lo != hi) {
+      const Tick span = hi - lo;
+      int passes = 0;
+      while ((span >> (8 * passes)) != 0) ++passes;
+      std::array<std::array<std::uint32_t, 256>, sizeof(Tick)> cnt{};
+      for (const Ref& r : front_) {
+        const Tick d = r.when - lo;
+        for (int p = 0; p < passes; ++p) ++cnt[p][(d >> (8 * p)) & 255];
+      }
+      radix_tmp_.resize(n);
+      std::vector<Ref>* src = &front_;
+      std::vector<Ref>* dst = &radix_tmp_;
+      for (int p = 0; p < passes; ++p) {
+        std::uint32_t sum = 0;
+        for (std::uint32_t& c : cnt[p]) {
+          const std::uint32_t was = c;
+          c = sum;
+          sum += was;
+        }
+        for (const Ref& r : *src) {
+          (*dst)[cnt[p][((r.when - lo) >> (8 * p)) & 255]++] = r;
+        }
+        std::swap(src, dst);
+      }
+      if (src != &front_) front_.swap(radix_tmp_);
+    }
+    // Equal-when runs are in insertion order; order them by pri.
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && front_[j].when == front_[i].when) ++j;
+      if (j - i > 1) {
+        std::sort(front_.begin() + i, front_.begin() + j,
+                  [](const Ref& a, const Ref& b) { return a.pri < b.pri; });
+      }
+      i = j;
+    }
+  }
+
+  // front_end_ starts at 0 so that *pre-run* pushes always take the O(1)
+  // bucket path; the sorted front is populated only by Refill's
+  // once-per-event linear sorts (plus the rare same-tick child).
+  std::vector<Ref> front_;      // ascending; [front_pos_, end) undrained
+  std::size_t front_pos_ = 0;   // cursor into front_
+  Tick front_end_ = 0;    // exclusive: every event < front_end_ is in front_
+  bool folded_ = false;   // saturation mode: everything lives in front_
+  std::vector<Rung> rungs_;      // rungs_[k+1] subdivides rungs_[k]'s bucket
+  std::vector<Rung> rung_pool_;  // retired rungs, bucket capacity kept warm
+  std::vector<Ref> spill_;       // unsorted beyond-the-bottom-rung overflow
+  Tick spill_lo_ = 0;            // min/max when across spill_ (valid when
+  Tick spill_hi_ = 0;            // spill_ is non-empty)
+  std::vector<Ref> radix_tmp_;   // radix ping-pong buffer, capacity reused
+  std::size_t size_ = 0;
+};
+
+}  // namespace nlss::sim

@@ -30,20 +30,28 @@ class Resource {
         std::llround(static_cast<double>(bytes) * ns_per_byte)));
   }
 
-  /// Fraction of [0, now] this resource spent busy.
+  /// Fraction of [0, now] this resource spent busy.  Acquire accrues the
+  /// whole service time up front, so the backlog past `now` — service the
+  /// clock has not reached yet — must be excluded here; otherwise a deep
+  /// queue reports >100% (which a min-clamp would then silently hide).
   double Utilization() const {
     const Tick now = engine_.now();
-    return now == 0 ? 0.0
-                    : static_cast<double>(std::min(busy_total_, now)) /
-                          static_cast<double>(now);
+    if (now == 0) return 0.0;
+    const Tick unserved = busy_until_ > now ? busy_until_ - now : 0;
+    return static_cast<double>(busy_total_ - unserved) /
+           static_cast<double>(now);
   }
 
   Tick busy_total() const { return busy_total_; }
   Tick busy_until() const { return busy_until_; }
 
-  /// Drop queued work (used when a component fails).
+  /// Drop queued work (used when a component fails).  The unserved span
+  /// [now, busy_until) was accrued at Acquire but will never be served, so
+  /// it is rolled back — otherwise Utilization overreports after a failure.
   void Reset() {
-    busy_until_ = engine_.now();
+    const Tick now = engine_.now();
+    if (busy_until_ > now) busy_total_ -= busy_until_ - now;
+    busy_until_ = now;
   }
 
  private:
